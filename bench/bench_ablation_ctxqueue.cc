@@ -1,0 +1,73 @@
+/**
+ * Ablation: NaxRiscv LSU ctxQueue depth (paper Section 5.3: "we
+ * evaluated different queue sizes and identified eight entries as a
+ * Pareto-optimal solution. Further reducing the queue size would
+ * negatively impact context-switch latency, while larger sizes offer
+ * no performance gain").
+ *
+ * Sweeps the depth 1..16 on the (SLT) configuration and reports mean
+ * switch latency over the workload suite — the knee at eight entries
+ * should reproduce.
+ */
+
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "harness/experiment.hh"
+#include "kernel/kernel.hh"
+
+using namespace rtu;
+
+namespace {
+
+double
+meanLatency(unsigned depth)
+{
+    SampleStats merged;
+    for (const auto &w : standardSuite(10)) {
+        const WorkloadInfo info = w->info();
+        KernelParams kp;
+        kp.unit = RtosUnitConfig::fromName("SLT");
+        kp.usesExternalIrq = info.usesExternalIrq;
+        KernelBuilder kb(kp);
+        w->addTasks(kb);
+        const Program program = kb.build();
+        SimConfig sc;
+        sc.core = CoreKind::kNax;
+        sc.unit = kp.unit;
+        sc.maxCycles = info.maxCycles;
+        sc.naxCtxQueueEntries = depth;
+        Simulation sim(sc, program);
+        for (Cycle at : info.extIrqSchedule)
+            sim.scheduleExtIrq(at);
+        if (!sim.run() || sim.exitCode() != 0) {
+            warn("ctxQueue depth %u: %s failed", depth,
+                 info.name.c_str());
+            continue;
+        }
+        merged.merge(sim.recorder().latencyStats(true));
+    }
+    return merged.empty() ? 0.0 : merged.mean();
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    std::printf("Ablation: ctxQueue depth on NaxRiscv (SLT), mean "
+                "context-switch latency\n\n");
+    std::printf("%7s %10s\n", "entries", "mean[cy]");
+    double at8 = 0;
+    for (unsigned depth : {1u, 2u, 4u, 6u, 8u, 12u, 16u}) {
+        const double m = meanLatency(depth);
+        if (depth == 8)
+            at8 = m;
+        std::printf("%7u %10.1f\n", depth, m);
+    }
+    std::printf("\npaper: eight entries Pareto-optimal — shallower "
+                "queues hurt latency, deeper ones gain nothing "
+                "(measured knee at 8: %.1f cycles)\n", at8);
+    return 0;
+}

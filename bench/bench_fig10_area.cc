@@ -1,0 +1,45 @@
+/**
+ * Figure 10 reproduction: normalized ASIC area of each core under
+ * every RTOSUnit configuration, with absolute areas (the paper prints
+ * them above the bars) and the per-structure breakdown the analytical
+ * model accounts.
+ */
+
+#include <cstdio>
+
+#include "asic/asic.hh"
+
+using namespace rtu;
+
+int
+main(int argc, char **argv)
+{
+    const bool breakdown = argc > 1 &&
+                           std::string(argv[1]) == "--breakdown";
+
+    std::printf("Figure 10: normalized ASIC area w.r.t. each core's "
+                "baseline (22 nm model)\n");
+    for (CoreKind core : {CoreKind::kCv32e40p, CoreKind::kCva6,
+                          CoreKind::kNax}) {
+        std::printf("\n=== %s ===\n", coreKindName(core));
+        std::printf("%-9s %10s %12s %10s\n", "config", "norm",
+                    "area[mm2]", "kGE");
+        for (const RtosUnitConfig &cfg : RtosUnitConfig::paperConfigs()) {
+            const AreaResult a = AsicModel::area(core, cfg);
+            std::printf("%-9s %9.3fx %12.4f %10.1f\n",
+                        cfg.name().c_str(), a.normalized, a.areaMm2,
+                        a.totalGE / 1000.0);
+            if (breakdown) {
+                for (const auto &[name, ge] : a.breakdownGE) {
+                    if (name != "core")
+                        std::printf("    %-28s %8.1f kGE\n",
+                                    name.c_str(), ge / 1000.0);
+                }
+            }
+        }
+    }
+    std::printf("\npaper anchors: CV32E40P S +21.9%%, CV32RT +21.2%%, "
+                "T ~0%%, ST +33%%, SPLIT +44%%; CVA6 S +3-5%%; "
+                "NaxRiscv S ~15%%, CV32RT +19%%\n");
+    return 0;
+}

@@ -1,0 +1,39 @@
+/**
+ * Figure 11 reproduction: achievable ASIC frequency of each core
+ * under every RTOSUnit configuration (22 nm critical-path model).
+ */
+
+#include <cstdio>
+
+#include "asic/asic.hh"
+
+using namespace rtu;
+
+int
+main()
+{
+    std::printf("Figure 11: ASIC f_max under RTOSUnit "
+                "configurations (GHz)\n\n");
+    std::printf("%-9s", "config");
+    for (CoreKind core : {CoreKind::kCv32e40p, CoreKind::kCva6,
+                          CoreKind::kNax})
+        std::printf(" %14s", coreKindName(core));
+    std::printf("\n");
+
+    for (const RtosUnitConfig &cfg : RtosUnitConfig::paperConfigs()) {
+        std::printf("%-9s", cfg.name().c_str());
+        for (CoreKind core : {CoreKind::kCv32e40p, CoreKind::kCva6,
+                              CoreKind::kNax}) {
+            const double base =
+                AsicModel::fmaxGHz(core, RtosUnitConfig::vanilla());
+            const double f = AsicModel::fmaxGHz(core, cfg);
+            std::printf("  %5.2f (%+4.0f%%)", f,
+                        100.0 * (f / base - 1.0));
+        }
+        std::printf("\n");
+    }
+    std::printf("\npaper anchors: CV32E40P ~-15%% on all RTOSUnit "
+                "configs (CV32RT unaffected); CVA6 ~-8%%; NaxRiscv "
+                "stable, SPLIT -4%%\n");
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * Figure 9 reproduction: context-switch latency (mean and jitter) for
+ * every core x RTOSUnit configuration over the RTOSBench-like suite,
+ * 20 iterations per test, 8-entry hardware lists, single-cycle SRAM.
+ *
+ * Prints one block per core with one row per configuration:
+ * min / mean / max / jitter in cycles, plus the reduction of the mean
+ * versus (vanilla) — the quantity the paper's headline claims use.
+ *
+ * Usage: bench_fig9_latency [--iterations N] [--per-workload]
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "harness/experiment.hh"
+
+using namespace rtu;
+
+int
+main(int argc, char **argv)
+{
+    unsigned iterations = 20;
+    bool per_workload = false;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--iterations") && i + 1 < argc)
+            iterations = static_cast<unsigned>(std::atoi(argv[++i]));
+        else if (!std::strcmp(argv[i], "--per-workload"))
+            per_workload = true;
+    }
+    setQuiet(true);
+
+    const CoreKind cores[] = {CoreKind::kCv32e40p, CoreKind::kCva6,
+                              CoreKind::kNax};
+
+    std::printf("Figure 9: context-switch latencies (cycles), "
+                "RTOSBench-like suite x %u iterations\n",
+                iterations);
+
+    for (CoreKind core : cores) {
+        std::printf("\n=== %s ===\n", coreKindName(core));
+        std::printf("%-9s %7s %8s %8s %8s %9s %9s\n", "config", "min",
+                    "mean", "max", "jitter", "dMean%", "switches");
+
+        double vanilla_mean = 0.0;
+        for (const RtosUnitConfig &cfg :
+             RtosUnitConfig::latencyConfigs()) {
+            const auto runs = runSuite(core, cfg, iterations);
+            bool all_ok = true;
+            for (const RunResult &r : runs)
+                all_ok = all_ok && r.ok;
+            const SampleStats s = mergeSwitchLatencies(runs);
+            if (s.empty() || !all_ok) {
+                std::printf("%-9s   RUN FAILED\n", cfg.name().c_str());
+                continue;
+            }
+            if (cfg.isVanilla())
+                vanilla_mean = s.mean();
+            const double dmean =
+                vanilla_mean > 0
+                    ? 100.0 * (1.0 - s.mean() / vanilla_mean)
+                    : 0.0;
+            std::printf("%-9s %7.0f %8.1f %8.0f %8.0f %8.1f%% %9llu\n",
+                        cfg.name().c_str(), s.min(), s.mean(), s.max(),
+                        s.jitter(), dmean,
+                        static_cast<unsigned long long>(s.count()));
+
+            if (per_workload) {
+                for (const RunResult &r : runs) {
+                    if (r.switchLatency.empty())
+                        continue;
+                    const SampleStats &w = r.switchLatency;
+                    std::printf("    %-20s %6.0f %8.1f %8.0f %8.0f\n",
+                                r.workload.c_str(), w.min(), w.mean(),
+                                w.max(), w.jitter());
+                }
+            }
+        }
+    }
+    return 0;
+}

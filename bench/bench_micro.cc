@@ -1,0 +1,96 @@
+/**
+ * Google-benchmark microbenchmarks of the simulator's own building
+ * blocks: instruction decode, functional execution, hardware-list
+ * sorting, context FSM transfers and whole-system simulation
+ * throughput (host cycles per simulated cycle).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "asm/assembler.hh"
+#include "asm/decode.hh"
+#include "asm/encode.hh"
+#include "common/logging.hh"
+#include "harness/experiment.hh"
+#include "rtosunit/hw_lists.hh"
+#include "workloads/workloads.hh"
+
+namespace rtu {
+namespace {
+
+void
+BM_Decode(benchmark::State &state)
+{
+    const Word insns[] = {
+        encode(Op::kAddi, A0, A1, 0, 42),
+        encode(Op::kLw, A0, SP, 0, 16),
+        encode(Op::kBne, 0, A0, A1, -16),
+        encode(Op::kMul, A2, A3, A4, 0),
+        encode(Op::kCsrrw, A0, T0, 0, 0, csr::kMscratch),
+        encode(Op::kGetHwSched, T0, 0, 0, 0),
+    };
+    size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(decode(insns[i % 6]));
+        ++i;
+    }
+}
+BENCHMARK(BM_Decode);
+
+void
+BM_AssembleKernel(benchmark::State &state)
+{
+    setQuiet(true);
+    for (auto _ : state) {
+        KernelParams kp;
+        kp.unit = RtosUnitConfig::fromName("SLT");
+        KernelBuilder kb(kp);
+        auto w = makeMutexWorkload(5);
+        w->addTasks(kb);
+        benchmark::DoNotOptimize(kb.build());
+    }
+}
+BENCHMARK(BM_AssembleKernel);
+
+void
+BM_HwListSortSettle(benchmark::State &state)
+{
+    const unsigned slots = static_cast<unsigned>(state.range(0));
+    for (auto _ : state) {
+        HwReadyList list(slots);
+        for (unsigned i = 0; i < slots; ++i)
+            list.insert(static_cast<TaskId>(i % 8),
+                        static_cast<Priority>((i * 5) % 8));
+        while (list.sorting())
+            list.tick();
+        benchmark::DoNotOptimize(list.popHeadRoundRobin());
+    }
+}
+BENCHMARK(BM_HwListSortSettle)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void
+BM_SimulationThroughput(benchmark::State &state)
+{
+    setQuiet(true);
+    const CoreKind core = static_cast<CoreKind>(state.range(0));
+    std::uint64_t simulated = 0;
+    for (auto _ : state) {
+        auto w = makeRoundRobin(5);
+        const RunResult r =
+            runWorkload(core, RtosUnitConfig::fromName("SLT"), *w);
+        simulated += r.cycles;
+        benchmark::DoNotOptimize(r.cycles);
+    }
+    state.counters["sim_cycles/s"] = benchmark::Counter(
+        static_cast<double>(simulated), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulationThroughput)
+    ->Arg(static_cast<int>(CoreKind::kCv32e40p))
+    ->Arg(static_cast<int>(CoreKind::kCva6))
+    ->Arg(static_cast<int>(CoreKind::kNax))
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace rtu
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+/**
+ * Configuration-selection helper — the paper's Section 6.4 as a tool:
+ * for a chosen core, print every RTOSUnit configuration's latency,
+ * jitter, area, f_max and power side by side, then recommend
+ * configurations for three design goals (hard real time, lowest mean
+ * latency, area-constrained), the way the paper's discussion does.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "asic/asic.hh"
+#include "common/logging.hh"
+#include "harness/experiment.hh"
+
+using namespace rtu;
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    CoreKind core = CoreKind::kCv32e40p;
+    if (argc > 1) {
+        const std::string arg = argv[1];
+        if (arg == "cva6")
+            core = CoreKind::kCva6;
+        else if (arg == "nax" || arg == "naxriscv")
+            core = CoreKind::kNax;
+        else if (arg != "cv32e40p")
+            fatal("usage: config_explorer [cv32e40p|cva6|nax]");
+    }
+
+    std::printf("RTOSUnit design-space exploration on %s "
+                "(latency from the workload suite, implementation "
+                "numbers from the 22 nm models)\n\n",
+                coreKindName(core));
+    std::printf("%-9s %9s %8s %9s %8s %9s\n", "config", "mean[cy]",
+                "jitter", "area", "fmax", "power");
+
+    struct Row
+    {
+        std::string name;
+        double mean, jitter, area, fmax, power;
+    };
+    std::vector<Row> rows;
+
+    for (const RtosUnitConfig &cfg : RtosUnitConfig::latencyConfigs()) {
+        const auto runs = runSuite(core, cfg, 10);
+        const SampleStats lat = mergeSwitchLatencies(runs);
+        bool ok = !lat.empty();
+        for (const RunResult &r : runs)
+            ok = ok && r.ok;
+        if (!ok)
+            continue;
+        const AreaResult area = AsicModel::area(core, cfg);
+        const double fmax = AsicModel::fmaxGHz(core, cfg);
+        // Power on the paper's power workload.
+        auto w = makeMutexWorkload(10);
+        const RunResult pr = runWorkload(core, cfg, *w);
+        const PowerResult p =
+            AsicModel::power(core, cfg, pr.activity, 500.0);
+        rows.push_back({cfg.name(), lat.mean(), lat.jitter(),
+                        area.normalized, fmax, p.totalMw()});
+        std::printf("%-9s %9.1f %8.0f %8.2fx %5.2fGHz %7.2fmW\n",
+                    cfg.name().c_str(), lat.mean(), lat.jitter(),
+                    area.normalized, fmax, p.totalMw());
+    }
+
+    // Recommendations in the spirit of the paper's Section 6.4.
+    const Row *hard_rt = nullptr;
+    const Row *fastest = nullptr;
+    const Row *leanest = nullptr;
+    for (const Row &r : rows) {
+        if (r.name == "vanilla")
+            continue;
+        if (!hard_rt || r.jitter < hard_rt->jitter ||
+            (r.jitter == hard_rt->jitter && r.mean < hard_rt->mean))
+            hard_rt = &r;
+        if (!fastest || r.mean < fastest->mean)
+            fastest = &r;
+        if (!leanest || r.area < leanest->area ||
+            (r.area == leanest->area && r.mean < leanest->mean))
+            leanest = &r;
+    }
+    std::printf("\nRecommendations:\n");
+    if (hard_rt) {
+        std::printf("  hard real-time (minimal jitter):     %s\n",
+                    hard_rt->name.c_str());
+    }
+    if (fastest) {
+        std::printf("  lowest mean switch latency:          %s\n",
+                    fastest->name.c_str());
+    }
+    if (leanest) {
+        std::printf("  area-constrained (cheapest upgrade): %s\n",
+                    leanest->name.c_str());
+    }
+    std::printf("\n(paper Section 6.4: SLT as the all-rounder, SPLIT "
+                "for mean latency, T for area-constrained designs)\n");
+    return 0;
+}

@@ -1,0 +1,164 @@
+/**
+ * A periodic control loop — the paper's "control loops ... under high
+ * system load" motivation (Section 1): a controller task must wake
+ * every N ticks, read a (simulated) sensor, compute a PI update and
+ * write the actuator, while logging and housekeeping tasks create
+ * background load.
+ *
+ * The example measures wake-up accuracy (actual vs nominal period)
+ * for the software-only kernel and the full (SLT) RTOSUnit, showing
+ * how context-switch jitter feeds straight into control-loop timing.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "harness/simulation.hh"
+#include "kernel/kernel.hh"
+#include "sim/hostio.hh"
+
+using namespace rtu;
+
+namespace {
+
+struct LoopStats
+{
+    double meanPeriod = 0;
+    double worstDeviation = 0;   ///< worst wake latency after a tick
+    double meanWakeLatency = 0;
+    double wakeJitter = 0;
+    unsigned samples = 0;
+};
+
+LoopStats
+run(const char *config_name)
+{
+    constexpr unsigned kRounds = 30;
+    constexpr Word kPeriodTicks = 2;
+    constexpr Word kTimerPeriod = 1000;
+
+    KernelParams params;
+    params.unit = RtosUnitConfig::fromName(config_name);
+    params.timerPeriodCycles = kTimerPeriod;
+    KernelBuilder kb(params);
+
+    TaskSpec controller;
+    controller.name = "controller";
+    controller.priority = 6;
+    controller.body = [](KernelBuilder &k) {
+        Assembler &a = k.a();
+        a.li(S0, kRounds);
+        a.li(S1, 0);  // integrator state
+        a.label("ctl_loop");
+        k.callDelay(kPeriodTicks);
+        k.emitTrace(tag::kWorkItem, 0xC1);  // wake timestamp
+        // "Read sensor": the deterministic PRNG register.
+        a.li(T0, static_cast<SWord>(memmap::kHostRand));
+        a.lw(T1, 0, T0);
+        a.andi(T1, T1, 0xFF);
+        // PI update: error = 128 - sensor; integ += error;
+        // u = 3*error + integ/4.
+        a.li(T2, 128);
+        a.sub(T2, T2, T1);
+        a.add(S1, S1, T2);
+        a.slli(T3, T2, 1);
+        a.add(T3, T3, T2);
+        a.srai(T4, S1, 2);
+        a.add(T3, T3, T4);
+        // "Write actuator": trace the low bits of the command.
+        k.emitTraceReg(tag::kCheck, T3);
+        a.addi(S0, S0, -1);
+        a.bnez(S0, "ctl_loop");
+        k.emitExit(0);
+    };
+    kb.addTask(controller);
+
+    TaskSpec logger;
+    logger.name = "logger";
+    logger.priority = 2;
+    logger.body = [](KernelBuilder &k) {
+        Assembler &a = k.a();
+        a.label("log_loop");
+        k.emitBusyLoop(80);
+        k.callDelay(1);
+        a.j("log_loop");
+    };
+    kb.addTask(logger);
+
+    TaskSpec housekeeping;
+    housekeeping.name = "housekeeping";
+    housekeeping.priority = 1;
+    housekeeping.body = [](KernelBuilder &k) {
+        Assembler &a = k.a();
+        a.label("hk_loop");
+        k.emitBusyLoop(50);
+        k.emitBusyDivLoop(3);
+        a.j("hk_loop");
+    };
+    kb.addTask(housekeeping);
+
+    const Program program = kb.build();
+    SimConfig sc;
+    sc.core = CoreKind::kCv32e40p;
+    sc.unit = params.unit;
+    sc.timerPeriodCycles = kTimerPeriod;
+    Simulation sim(sc, program);
+    if (!sim.run() || sim.exitCode() != 0) {
+        std::fprintf(stderr, "%s: run failed\n", config_name);
+        return {};
+    }
+
+    LoopStats stats;
+    std::vector<Cycle> wakes;
+    for (const GuestEvent &e : sim.hostIo().events()) {
+        if (e.tag == tag::kWorkItem && e.value == 0xC1)
+            wakes.push_back(e.cycle);
+    }
+    const double nominal = double(kPeriodTicks) * kTimerPeriod;
+    double min_lat = 1e18;
+    for (size_t i = 1; i < wakes.size(); ++i) {
+        const double period = double(wakes[i] - wakes[i - 1]);
+        stats.meanPeriod += period;
+        ++stats.samples;
+    }
+    if (stats.samples)
+        stats.meanPeriod /= stats.samples;
+    // Wake latency: distance of each activation from the timer tick
+    // that released it — the direct image of switch latency + jitter.
+    for (Cycle w : wakes) {
+        const double lat = double(w % kTimerPeriod);
+        min_lat = std::min(min_lat, lat);
+        stats.worstDeviation = std::max(stats.worstDeviation, lat);
+        stats.meanWakeLatency += lat;
+    }
+    if (!wakes.empty())
+        stats.meanWakeLatency /= double(wakes.size());
+    stats.wakeJitter = stats.worstDeviation - min_lat;
+    (void)nominal;
+    return stats;
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    std::printf("Periodic control loop (nominal period 2000 cycles) "
+                "under background load, CV32E40P\n\n");
+    std::printf("%-9s %13s %15s %12s %12s\n", "config", "mean period",
+                "mean wake lat", "worst wake", "wake jitter");
+    for (const char *cfg : {"vanilla", "T", "SLT", "SPLIT"}) {
+        const LoopStats s = run(cfg);
+        if (!s.samples)
+            continue;
+        std::printf("%-9s %10.1f cy %12.1f cy %9.0f cy %9.0f cy\n",
+                    cfg, s.meanPeriod, s.meanWakeLatency,
+                    s.worstDeviation, s.wakeJitter);
+    }
+    std::printf("\nLower worst-case deviation means tighter control "
+                "timing; the hardware scheduler removes the\n"
+                "delay-list walk from the tick path, and full context "
+                "acceleration bounds the switch itself.\n");
+    return 0;
+}

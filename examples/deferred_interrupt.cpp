@@ -1,0 +1,134 @@
+/**
+ * Deferred interrupt handling — the scenario that motivates the paper
+ * (Section 1): an external event must be handled by a *task* (not the
+ * ISR), so the system's response time is bounded by context-switch
+ * latency.
+ *
+ * A high-priority handler task blocks on a semaphore that the
+ * external-interrupt ISR path gives; a low-priority task crunches
+ * numbers (including long divides) in the background. The example
+ * measures event-to-handler response time across RTOSUnit
+ * configurations and prints the improvement — the user-visible effect
+ * of the paper's hardware.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "harness/simulation.hh"
+#include "kernel/kernel.hh"
+#include "sim/hostio.hh"
+
+using namespace rtu;
+
+namespace {
+
+struct Response
+{
+    double mean = 0;
+    double min = 0;
+    double max = 0;
+    unsigned events = 0;
+};
+
+Response
+measure(const char *config_name)
+{
+    constexpr unsigned kEvents = 20;
+
+    KernelParams params;
+    params.unit = RtosUnitConfig::fromName(config_name);
+    params.usesExternalIrq = true;
+    KernelBuilder kb(params);
+
+    TaskSpec handler;
+    handler.name = "sensor_handler";
+    handler.priority = 5;
+    handler.body = [](KernelBuilder &k) {
+        Assembler &a = k.a();
+        a.li(S0, kEvents);
+        a.label("h_loop");
+        k.callSemTake(k.extSemaphore());
+        // Timestamped the moment the deferred handler actually runs.
+        k.emitTrace(tag::kWorkItem, 0xE0);
+        a.addi(S0, S0, -1);
+        a.bnez(S0, "h_loop");
+        k.emitExit(0);
+    };
+    kb.addTask(handler);
+
+    TaskSpec crunch;
+    crunch.name = "background";
+    crunch.priority = 1;
+    crunch.body = [](KernelBuilder &k) {
+        Assembler &a = k.a();
+        a.label("bg_loop");
+        k.emitBusyLoop(60);
+        k.emitBusyDivLoop(4);
+        a.j("bg_loop");
+    };
+    kb.addTask(crunch);
+
+    const Program program = kb.build();
+
+    SimConfig sc;
+    sc.core = CoreKind::kCv32e40p;
+    sc.unit = params.unit;
+    Simulation sim(sc, program);
+    std::vector<Cycle> fire_at;
+    for (unsigned i = 0; i < kEvents; ++i) {
+        fire_at.push_back(20'000 + 2'500 * i);
+        sim.scheduleExtIrq(fire_at.back());
+    }
+    if (!sim.run() || sim.exitCode() != 0) {
+        std::fprintf(stderr, "%s: run failed\n", config_name);
+        return {};
+    }
+
+    Response r;
+    r.min = 1e18;
+    const auto handled = sim.hostIo().eventsWithTag(tag::kWorkItem);
+    for (const GuestEvent &e : handled) {
+        // Match each handler activation to its triggering event.
+        if (r.events >= fire_at.size())
+            break;
+        const double dt =
+            static_cast<double>(e.cycle - fire_at[r.events]);
+        r.mean += dt;
+        r.min = std::min(r.min, dt);
+        r.max = std::max(r.max, dt);
+        ++r.events;
+    }
+    if (r.events)
+        r.mean /= r.events;
+    return r;
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    std::printf("Deferred interrupt handling on CV32E40P: external "
+                "event -> handler-task response time (cycles)\n\n");
+    std::printf("%-9s %8s %8s %8s %8s\n", "config", "min", "mean",
+                "max", "jitter");
+    double base = 0;
+    for (const char *cfg : {"vanilla", "CV32RT", "S", "SL", "T", "SLT",
+                            "SPLIT"}) {
+        const Response r = measure(cfg);
+        if (r.events == 0)
+            continue;
+        if (base == 0)
+            base = r.mean;
+        std::printf("%-9s %8.0f %8.1f %8.0f %8.0f   (mean %+.0f%%)\n",
+                    cfg, r.min, r.mean, r.max, r.max - r.min,
+                    100.0 * (r.mean / base - 1.0));
+    }
+    std::printf("\nThe deferred path is: ext IRQ -> ISR gives "
+                "semaphore -> scheduler -> handler task runs.\n"
+                "Hardware scheduling and context handling shorten "
+                "every stage after the ISR entry.\n");
+    return 0;
+}

@@ -1,0 +1,206 @@
+#include "asic.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "tech.hh"
+
+namespace rtu {
+
+namespace {
+
+/** Sparse-mux + bank-switch structure of the alternate register file
+ *  (paper Section 4.2 optimization (1)). */
+constexpr unsigned kAltRfRegs = 29;
+constexpr unsigned kCv32rtSnapRegs = 16;
+
+struct CoreFactors
+{
+    double baseGE;
+    double routing;          ///< congestion factor on RF structures
+    double renameDupGE;      ///< NaxRiscv: duplicated translation logic
+    double hazardLogicGE;    ///< SWITCH_RF hazard handling (store, no L)
+    double loadIntegrationGE;///< mret stall / restore integration
+    double schedStoreGE;     ///< store+sched pipeline integration
+    double preloadIntegrationGE;
+    double cv32rtPortGE;     ///< dedicated port (+read ports on Nax)
+};
+
+CoreFactors
+factorsFor(CoreKind core)
+{
+    switch (core) {
+      case CoreKind::kCv32e40p:
+        return {tech::kCv32e40pBaseGE, 1.55, 0, 800, 500, 6'500, 800,
+                8'000};
+      case CoreKind::kCva6:
+        // CVA6's SWITCH_RF hazard logic makes (S*) cost more than the
+        // matching (S*L*) configuration (paper Section 6.3).
+        return {tech::kCva6BaseGE, 1.05, 0, 9'000, 600, 28'000, 25'000,
+                7'000};
+      case CoreKind::kNax:
+        // Renaming duplication dominates (S); CV32RT needs 16 extra
+        // physical read ports under renaming (paper Section 6.3).
+        return {tech::kNaxBaseGE, 1.0, 90'000, 0, 10'000, 3'000, 8'000,
+                152'000};
+    }
+    panic("unknown core kind");
+}
+
+/** One hardware scheduler list slot (id, prio, delay, valid, seq,
+ *  comparator share) — calibrated so 64+64 slots cost ~14 % of
+ *  CV32E40P (paper Fig 12). */
+constexpr double kListSlotGE = 65.0;
+
+} // namespace
+
+double
+AsicModel::baseGE(CoreKind core)
+{
+    return factorsFor(core).baseGE;
+}
+
+double
+AsicModel::routingFactor(CoreKind core)
+{
+    return factorsFor(core).routing;
+}
+
+AreaResult
+AsicModel::area(CoreKind core, const RtosUnitConfig &unit)
+{
+    const CoreFactors f = factorsFor(core);
+    AreaResult res;
+    res.breakdownGE["core"] = f.baseGE;
+
+    if (unit.cv32rt) {
+        const double snap =
+            kCv32rtSnapRegs * 32 * tech::kFlopGE * f.routing;
+        res.breakdownGE["cv32rt-snapshot"] = snap;
+        res.breakdownGE["cv32rt-port"] = f.cv32rtPortGE;
+    } else {
+        if (unit.store) {
+            const double rf_flops =
+                kAltRfRegs * 32 * tech::kFlopGE * f.routing;
+            const double rf_mux =
+                kAltRfRegs * 32 * tech::kMuxBitGE * f.routing;
+            res.breakdownGE["alt-regfile"] = rf_flops;
+            res.breakdownGE["rf-muxing"] = rf_mux;
+            res.breakdownGE["store-fsm"] = 800;
+            res.breakdownGE["mem-arbiter"] = 300;
+            if (f.renameDupGE > 0)
+                res.breakdownGE["rename-dup"] = f.renameDupGE;
+            if (!unit.load && f.hazardLogicGE > 0)
+                res.breakdownGE["switchrf-hazard"] = f.hazardLogicGE;
+        }
+        if (unit.load) {
+            res.breakdownGE["restore-fsm"] = 600;
+            res.breakdownGE["load-integration"] = f.loadIntegrationGE;
+        }
+        if (unit.sched) {
+            res.breakdownGE["hw-lists"] =
+                2.0 * unit.listSlots * kListSlotGE;
+            res.breakdownGE["sched-control"] = 400;
+            if (unit.store)
+                res.breakdownGE["sched-store-integration"] =
+                    f.schedStoreGE;
+        }
+        if (unit.dirty)
+            res.breakdownGE["dirty-bits"] = 29 * tech::kFlopGE + 250;
+        if (unit.hwsync) {
+            // Future-work extension: one wait queue + counter per
+            // hardware semaphore.
+            res.breakdownGE["hw-sync"] =
+                unit.semSlots * (unit.listSlots * kListSlotGE + 120.0);
+        }
+        if (unit.preload) {
+            res.breakdownGE["preload-buffer"] =
+                31 * 32 * tech::kFlopGE + 1'000;
+            res.breakdownGE["preload-integration"] =
+                f.preloadIntegrationGE;
+        }
+    }
+
+    for (const auto &[name, ge] : res.breakdownGE)
+        res.totalGE += ge;
+    res.areaMm2 = res.totalGE * tech::kGateAreaUm2 * 1e-6;
+    res.normalized = res.totalGE / f.baseGE;
+    return res;
+}
+
+double
+AsicModel::fmaxGHz(CoreKind core, const RtosUnitConfig &unit)
+{
+    double base;
+    switch (core) {
+      case CoreKind::kCv32e40p: base = tech::kCv32e40pBaseFmaxGHz; break;
+      case CoreKind::kCva6: base = tech::kCva6BaseFmaxGHz; break;
+      case CoreKind::kNax: base = tech::kNaxBaseFmaxGHz; break;
+      default: panic("unknown core kind");
+    }
+    if (unit.isVanilla())
+        return base;
+
+    switch (core) {
+      case CoreKind::kCv32e40p:
+        // The RF mux sits in the operand-read path: ~15 % across all
+        // RTOSUnit configurations; CV32RT's snapshot is off the
+        // critical path (paper Fig 11).
+        return unit.cv32rt ? base : base * 0.85;
+      case CoreKind::kCva6:
+        return unit.cv32rt ? base * 0.98 : base * 0.92;
+      case CoreKind::kNax:
+        // Stable except for preloading's lockstep write path.
+        return unit.preload ? base * 0.96 : base;
+      default:
+        panic("unknown core kind");
+    }
+}
+
+PowerResult
+AsicModel::power(CoreKind core, const RtosUnitConfig &unit,
+                 const ActivityCounters &activity, double freq_mhz)
+{
+    rtu_assert(activity.cycles > 0, "power model needs a real run");
+    const AreaResult ar = area(core, unit);
+    PowerResult res;
+
+    // Static: leakage proportional to area (the paper's "strong
+    // correlation between area and power" at 22 nm).
+    res.staticMw = ar.areaMm2 * tech::kStaticMwPerMm2;
+
+    // Dynamic: per-event energies from the measured activity of the
+    // run, plus clock-tree power over the clocked area. The RTOSUnit's
+    // structures are flop-rich (register banks, list slots, buffers),
+    // so their per-GE toggle power exceeds the logic-dominated base
+    // core; the factor is a per-core calibration (small cores pay
+    // relatively more, matching the paper's relative increases).
+    double toggle_factor;
+    switch (core) {
+      case CoreKind::kCv32e40p: toggle_factor = 2.2; break;
+      case CoreKind::kCva6: toggle_factor = 2.0; break;
+      default: toggle_factor = 0.6; break;
+    }
+    const double base_ge = baseGE(core);
+    const double effective_ge =
+        base_ge + (ar.totalGE - base_ge) * toggle_factor;
+    const double cycles = static_cast<double>(activity.cycles);
+    const double insn_scale = ar.totalGE / tech::kCv32e40pBaseGE;
+    const double energy_pj =
+        static_cast<double>(activity.instret) *
+            tech::kEnergyPerInsnBasePj * std::sqrt(insn_scale) +
+        static_cast<double>(activity.memOps) * tech::kEnergyPerMemOpPj +
+        static_cast<double>(activity.unitMemWords) *
+            tech::kEnergyPerUnitWordPj +
+        static_cast<double>(activity.sortPhases) *
+            tech::kEnergyPerSortPhasePj +
+        static_cast<double>(activity.traps) * tech::kEnergyPerTrapPj +
+        cycles * (effective_ge / 1000.0) * tech::kClockPjPerKGE;
+
+    // Average energy per cycle times frequency.
+    const double pj_per_cycle = energy_pj / cycles;
+    res.dynamicMw = pj_per_cycle * freq_mhz * 1e-3;
+    return res;
+}
+
+} // namespace rtu

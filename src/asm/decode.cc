@@ -1,0 +1,224 @@
+#include "decode.hh"
+
+#include "common/bitutil.hh"
+
+namespace rtu {
+
+namespace {
+
+SWord
+immI(Word raw)
+{
+    return sext(bits(raw, 31, 20), 12);
+}
+
+SWord
+immS(Word raw)
+{
+    return sext((bits(raw, 31, 25) << 5) | bits(raw, 11, 7), 12);
+}
+
+SWord
+immB(Word raw)
+{
+    const Word v = (bit(raw, 31) << 12) | (bit(raw, 7) << 11) |
+                   (bits(raw, 30, 25) << 5) | (bits(raw, 11, 8) << 1);
+    return sext(v, 13);
+}
+
+SWord
+immU(Word raw)
+{
+    // Keep the raw [31:12] field; the executor shifts it into place.
+    return static_cast<SWord>(bits(raw, 31, 12));
+}
+
+SWord
+immJ(Word raw)
+{
+    const Word v = (bit(raw, 31) << 20) | (bits(raw, 19, 12) << 12) |
+                   (bit(raw, 20) << 11) | (bits(raw, 30, 21) << 1);
+    return sext(v, 21);
+}
+
+} // namespace
+
+DecodedInsn
+decode(Word raw)
+{
+    DecodedInsn d;
+    d.raw = raw;
+    d.rd = static_cast<RegIndex>(bits(raw, 11, 7));
+    d.rs1 = static_cast<RegIndex>(bits(raw, 19, 15));
+    d.rs2 = static_cast<RegIndex>(bits(raw, 24, 20));
+    const Word opcode = bits(raw, 6, 0);
+    const Word funct3 = bits(raw, 14, 12);
+    const Word funct7 = bits(raw, 31, 25);
+
+    switch (opcode) {
+      case 0x37:
+        d.op = Op::kLui;
+        d.imm = immU(raw);
+        return d;
+      case 0x17:
+        d.op = Op::kAuipc;
+        d.imm = immU(raw);
+        return d;
+      case 0x6F:
+        d.op = Op::kJal;
+        d.imm = immJ(raw);
+        return d;
+      case 0x67:
+        if (funct3 != 0)
+            break;
+        d.op = Op::kJalr;
+        d.imm = immI(raw);
+        return d;
+      case 0x63:
+        d.imm = immB(raw);
+        switch (funct3) {
+          case 0: d.op = Op::kBeq; return d;
+          case 1: d.op = Op::kBne; return d;
+          case 4: d.op = Op::kBlt; return d;
+          case 5: d.op = Op::kBge; return d;
+          case 6: d.op = Op::kBltu; return d;
+          case 7: d.op = Op::kBgeu; return d;
+          default: break;
+        }
+        break;
+      case 0x03:
+        d.imm = immI(raw);
+        switch (funct3) {
+          case 0: d.op = Op::kLb; return d;
+          case 1: d.op = Op::kLh; return d;
+          case 2: d.op = Op::kLw; return d;
+          case 4: d.op = Op::kLbu; return d;
+          case 5: d.op = Op::kLhu; return d;
+          default: break;
+        }
+        break;
+      case 0x23:
+        d.imm = immS(raw);
+        switch (funct3) {
+          case 0: d.op = Op::kSb; return d;
+          case 1: d.op = Op::kSh; return d;
+          case 2: d.op = Op::kSw; return d;
+          default: break;
+        }
+        break;
+      case 0x13:
+        d.imm = immI(raw);
+        switch (funct3) {
+          case 0: d.op = Op::kAddi; return d;
+          case 2: d.op = Op::kSlti; return d;
+          case 3: d.op = Op::kSltiu; return d;
+          case 4: d.op = Op::kXori; return d;
+          case 6: d.op = Op::kOri; return d;
+          case 7: d.op = Op::kAndi; return d;
+          case 1:
+            if (funct7 == 0x00) {
+                d.op = Op::kSlli;
+                d.imm = static_cast<SWord>(d.rs2);
+                return d;
+            }
+            break;
+          case 5:
+            if (funct7 == 0x00) {
+                d.op = Op::kSrli;
+                d.imm = static_cast<SWord>(d.rs2);
+                return d;
+            }
+            if (funct7 == 0x20) {
+                d.op = Op::kSrai;
+                d.imm = static_cast<SWord>(d.rs2);
+                return d;
+            }
+            break;
+          default:
+            break;
+        }
+        break;
+      case 0x33:
+        if (funct7 == 0x00) {
+            switch (funct3) {
+              case 0: d.op = Op::kAdd; return d;
+              case 1: d.op = Op::kSll; return d;
+              case 2: d.op = Op::kSlt; return d;
+              case 3: d.op = Op::kSltu; return d;
+              case 4: d.op = Op::kXor; return d;
+              case 5: d.op = Op::kSrl; return d;
+              case 6: d.op = Op::kOr; return d;
+              case 7: d.op = Op::kAnd; return d;
+            }
+        } else if (funct7 == 0x20) {
+            if (funct3 == 0) { d.op = Op::kSub; return d; }
+            if (funct3 == 5) { d.op = Op::kSra; return d; }
+        } else if (funct7 == 0x01) {
+            switch (funct3) {
+              case 0: d.op = Op::kMul; return d;
+              case 1: d.op = Op::kMulh; return d;
+              case 2: d.op = Op::kMulhsu; return d;
+              case 3: d.op = Op::kMulhu; return d;
+              case 4: d.op = Op::kDiv; return d;
+              case 5: d.op = Op::kDivu; return d;
+              case 6: d.op = Op::kRem; return d;
+              case 7: d.op = Op::kRemu; return d;
+            }
+        }
+        break;
+      case 0x0F:
+        d.op = Op::kFence;
+        return d;
+      case 0x73:
+        if (funct3 == 0) {
+            if (raw == 0x00000073) { d.op = Op::kEcall; return d; }
+            if (raw == 0x00100073) { d.op = Op::kEbreak; return d; }
+            if (raw == 0x30200073) { d.op = Op::kMret; return d; }
+            if (raw == 0x10500073) { d.op = Op::kWfi; return d; }
+            break;
+        }
+        d.csr = static_cast<std::uint16_t>(bits(raw, 31, 20));
+        switch (funct3) {
+          case 1: d.op = Op::kCsrrw; return d;
+          case 2: d.op = Op::kCsrrs; return d;
+          case 3: d.op = Op::kCsrrc; return d;
+          case 5:
+            d.op = Op::kCsrrwi;
+            d.imm = static_cast<SWord>(d.rs1);
+            return d;
+          case 6:
+            d.op = Op::kCsrrsi;
+            d.imm = static_cast<SWord>(d.rs1);
+            return d;
+          case 7:
+            d.op = Op::kCsrrci;
+            d.imm = static_cast<SWord>(d.rs1);
+            return d;
+          default:
+            break;
+        }
+        break;
+      case 0x0B:
+        // RTOSUnit custom-0 space (Table 1).
+        if (funct3 != 0)
+            break;
+        switch (funct7) {
+          case 0x00: d.op = Op::kSetContextId; return d;
+          case 0x01: d.op = Op::kGetHwSched; return d;
+          case 0x02: d.op = Op::kAddReady; return d;
+          case 0x03: d.op = Op::kAddDelay; return d;
+          case 0x04: d.op = Op::kRmTask; return d;
+          case 0x05: d.op = Op::kSwitchRf; return d;
+          case 0x06: d.op = Op::kSemTake; return d;
+          case 0x07: d.op = Op::kSemGive; return d;
+          default: break;
+        }
+        break;
+      default:
+        break;
+    }
+    d.op = Op::kInvalid;
+    return d;
+}
+
+} // namespace rtu

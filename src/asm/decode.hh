@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Instruction decoding: 32-bit word -> DecodedInsn.
+ */
+
+#ifndef RTU_ASM_DECODE_HH
+#define RTU_ASM_DECODE_HH
+
+#include "common/types.hh"
+#include "insn.hh"
+
+namespace rtu {
+
+/**
+ * Decode one 32-bit instruction word. Unknown encodings yield
+ * Op::kInvalid (the executor raises an illegal-instruction trap).
+ */
+DecodedInsn decode(Word raw);
+
+} // namespace rtu
+
+#endif // RTU_ASM_DECODE_HH

@@ -1,0 +1,79 @@
+#include "disasm.hh"
+
+#include "common/logging.hh"
+#include "decode.hh"
+
+namespace rtu {
+
+std::string
+disassemble(const DecodedInsn &d)
+{
+    const char *name = opName(d.op);
+    switch (classOf(d.op)) {
+      case InsnClass::kLoad:
+        return csprintf("%s %s, %d(%s)", name, regName(d.rd), d.imm,
+                        regName(d.rs1));
+      case InsnClass::kStore:
+        return csprintf("%s %s, %d(%s)", name, regName(d.rs2), d.imm,
+                        regName(d.rs1));
+      case InsnClass::kBranch:
+        return csprintf("%s %s, %s, %d", name, regName(d.rs1),
+                        regName(d.rs2), d.imm);
+      case InsnClass::kJump:
+        if (d.op == Op::kJal)
+            return csprintf("%s %s, %d", name, regName(d.rd), d.imm);
+        return csprintf("%s %s, %d(%s)", name, regName(d.rd), d.imm,
+                        regName(d.rs1));
+      case InsnClass::kCsr:
+        if (d.op == Op::kCsrrwi || d.op == Op::kCsrrsi ||
+            d.op == Op::kCsrrci) {
+            return csprintf("%s %s, 0x%x, %d", name, regName(d.rd),
+                            d.csr, d.imm);
+        }
+        return csprintf("%s %s, 0x%x, %s", name, regName(d.rd), d.csr,
+                        regName(d.rs1));
+      case InsnClass::kSystem:
+        return name;
+      case InsnClass::kCustom:
+        switch (d.op) {
+          case Op::kSetContextId:
+          case Op::kRmTask:
+            return csprintf("%s %s", name, regName(d.rs1));
+          case Op::kGetHwSched:
+            return csprintf("%s %s", name, regName(d.rd));
+          case Op::kAddReady:
+          case Op::kAddDelay:
+            return csprintf("%s %s, %s", name, regName(d.rs1),
+                            regName(d.rs2));
+          default:
+            return name;
+        }
+      default:
+        break;
+    }
+    // ALU-class formats.
+    switch (d.op) {
+      case Op::kLui:
+      case Op::kAuipc:
+        return csprintf("%s %s, 0x%x", name, regName(d.rd),
+                        static_cast<Word>(d.imm));
+      case Op::kAddi: case Op::kSlti: case Op::kSltiu: case Op::kXori:
+      case Op::kOri: case Op::kAndi: case Op::kSlli: case Op::kSrli:
+      case Op::kSrai:
+        return csprintf("%s %s, %s, %d", name, regName(d.rd),
+                        regName(d.rs1), d.imm);
+      case Op::kInvalid:
+        return csprintf("<invalid 0x%08x>", d.raw);
+      default:
+        return csprintf("%s %s, %s, %s", name, regName(d.rd),
+                        regName(d.rs1), regName(d.rs2));
+    }
+}
+
+std::string
+disassemble(Word raw)
+{
+    return disassemble(decode(raw));
+}
+
+} // namespace rtu

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Disassembler for execution traces and debugging.
+ */
+
+#ifndef RTU_ASM_DISASM_HH
+#define RTU_ASM_DISASM_HH
+
+#include <string>
+
+#include "common/types.hh"
+#include "insn.hh"
+
+namespace rtu {
+
+/** Render one decoded instruction, e.g. "addi sp, sp, -16". */
+std::string disassemble(const DecodedInsn &insn);
+
+/** Decode and render a raw word. */
+std::string disassemble(Word raw);
+
+} // namespace rtu
+
+#endif // RTU_ASM_DISASM_HH

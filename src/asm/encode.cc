@@ -1,0 +1,210 @@
+#include "encode.hh"
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace rtu {
+
+namespace {
+
+constexpr Word kOpcLui = 0x37;
+constexpr Word kOpcAuipc = 0x17;
+constexpr Word kOpcJal = 0x6F;
+constexpr Word kOpcJalr = 0x67;
+constexpr Word kOpcBranch = 0x63;
+constexpr Word kOpcLoad = 0x03;
+constexpr Word kOpcStore = 0x23;
+constexpr Word kOpcOpImm = 0x13;
+constexpr Word kOpcOp = 0x33;
+constexpr Word kOpcMiscMem = 0x0F;
+constexpr Word kOpcSystem = 0x73;
+constexpr Word kOpcCustom0 = 0x0B;
+
+Word
+rType(Word funct7, RegIndex rs2, RegIndex rs1, Word funct3, RegIndex rd,
+      Word opcode)
+{
+    return insertBits(funct7, 31, 25) | insertBits(rs2, 24, 20) |
+           insertBits(rs1, 19, 15) | insertBits(funct3, 14, 12) |
+           insertBits(rd, 11, 7) | opcode;
+}
+
+Word
+iType(SWord imm, RegIndex rs1, Word funct3, RegIndex rd, Word opcode)
+{
+    rtu_assert(fitsSigned(imm, 12), "I-imm %d out of range", imm);
+    return insertBits(static_cast<Word>(imm), 31, 20) |
+           insertBits(rs1, 19, 15) | insertBits(funct3, 14, 12) |
+           insertBits(rd, 11, 7) | opcode;
+}
+
+Word
+sType(SWord imm, RegIndex rs2, RegIndex rs1, Word funct3, Word opcode)
+{
+    rtu_assert(fitsSigned(imm, 12), "S-imm %d out of range", imm);
+    const Word uimm = static_cast<Word>(imm);
+    return insertBits(bits(uimm, 11, 5), 31, 25) |
+           insertBits(rs2, 24, 20) | insertBits(rs1, 19, 15) |
+           insertBits(funct3, 14, 12) |
+           insertBits(bits(uimm, 4, 0), 11, 7) | opcode;
+}
+
+Word
+bType(SWord imm, RegIndex rs2, RegIndex rs1, Word funct3, Word opcode)
+{
+    rtu_assert(fitsSigned(imm, 13) && (imm & 1) == 0,
+               "B-imm %d out of range or misaligned", imm);
+    const Word uimm = static_cast<Word>(imm);
+    return insertBits(bit(uimm, 12), 31, 31) |
+           insertBits(bits(uimm, 10, 5), 30, 25) |
+           insertBits(rs2, 24, 20) | insertBits(rs1, 19, 15) |
+           insertBits(funct3, 14, 12) |
+           insertBits(bits(uimm, 4, 1), 11, 8) |
+           insertBits(bit(uimm, 11), 7, 7) | opcode;
+}
+
+Word
+uType(SWord imm, RegIndex rd, Word opcode)
+{
+    // imm is the value for bits [31:12].
+    return insertBits(static_cast<Word>(imm), 31, 12) |
+           insertBits(rd, 11, 7) | opcode;
+}
+
+Word
+jType(SWord imm, RegIndex rd, Word opcode)
+{
+    rtu_assert(fitsSigned(imm, 21) && (imm & 1) == 0,
+               "J-imm %d out of range or misaligned", imm);
+    const Word uimm = static_cast<Word>(imm);
+    return insertBits(bit(uimm, 20), 31, 31) |
+           insertBits(bits(uimm, 10, 1), 30, 21) |
+           insertBits(bit(uimm, 11), 20, 20) |
+           insertBits(bits(uimm, 19, 12), 19, 12) |
+           insertBits(rd, 11, 7) | opcode;
+}
+
+Word
+csrType(std::uint16_t csr, RegIndex rs1, Word funct3, RegIndex rd)
+{
+    return insertBits(csr, 31, 20) | insertBits(rs1, 19, 15) |
+           insertBits(funct3, 14, 12) | insertBits(rd, 11, 7) |
+           kOpcSystem;
+}
+
+Word
+shiftImm(Word funct7, SWord shamt, RegIndex rs1, Word funct3, RegIndex rd)
+{
+    rtu_assert(shamt >= 0 && shamt < 32, "shamt %d out of range", shamt);
+    return insertBits(funct7, 31, 25) |
+           insertBits(static_cast<Word>(shamt), 24, 20) |
+           insertBits(rs1, 19, 15) | insertBits(funct3, 14, 12) |
+           insertBits(rd, 11, 7) | kOpcOpImm;
+}
+
+} // namespace
+
+Word
+encode(Op op, RegIndex rd, RegIndex rs1, RegIndex rs2, SWord imm,
+       std::uint16_t csr)
+{
+    switch (op) {
+      case Op::kLui: return uType(imm, rd, kOpcLui);
+      case Op::kAuipc: return uType(imm, rd, kOpcAuipc);
+      case Op::kJal: return jType(imm, rd, kOpcJal);
+      case Op::kJalr: return iType(imm, rs1, 0, rd, kOpcJalr);
+
+      case Op::kBeq: return bType(imm, rs2, rs1, 0, kOpcBranch);
+      case Op::kBne: return bType(imm, rs2, rs1, 1, kOpcBranch);
+      case Op::kBlt: return bType(imm, rs2, rs1, 4, kOpcBranch);
+      case Op::kBge: return bType(imm, rs2, rs1, 5, kOpcBranch);
+      case Op::kBltu: return bType(imm, rs2, rs1, 6, kOpcBranch);
+      case Op::kBgeu: return bType(imm, rs2, rs1, 7, kOpcBranch);
+
+      case Op::kLb: return iType(imm, rs1, 0, rd, kOpcLoad);
+      case Op::kLh: return iType(imm, rs1, 1, rd, kOpcLoad);
+      case Op::kLw: return iType(imm, rs1, 2, rd, kOpcLoad);
+      case Op::kLbu: return iType(imm, rs1, 4, rd, kOpcLoad);
+      case Op::kLhu: return iType(imm, rs1, 5, rd, kOpcLoad);
+
+      case Op::kSb: return sType(imm, rs2, rs1, 0, kOpcStore);
+      case Op::kSh: return sType(imm, rs2, rs1, 1, kOpcStore);
+      case Op::kSw: return sType(imm, rs2, rs1, 2, kOpcStore);
+
+      case Op::kAddi: return iType(imm, rs1, 0, rd, kOpcOpImm);
+      case Op::kSlti: return iType(imm, rs1, 2, rd, kOpcOpImm);
+      case Op::kSltiu: return iType(imm, rs1, 3, rd, kOpcOpImm);
+      case Op::kXori: return iType(imm, rs1, 4, rd, kOpcOpImm);
+      case Op::kOri: return iType(imm, rs1, 6, rd, kOpcOpImm);
+      case Op::kAndi: return iType(imm, rs1, 7, rd, kOpcOpImm);
+      case Op::kSlli: return shiftImm(0x00, imm, rs1, 1, rd);
+      case Op::kSrli: return shiftImm(0x00, imm, rs1, 5, rd);
+      case Op::kSrai: return shiftImm(0x20, imm, rs1, 5, rd);
+
+      case Op::kAdd: return rType(0x00, rs2, rs1, 0, rd, kOpcOp);
+      case Op::kSub: return rType(0x20, rs2, rs1, 0, rd, kOpcOp);
+      case Op::kSll: return rType(0x00, rs2, rs1, 1, rd, kOpcOp);
+      case Op::kSlt: return rType(0x00, rs2, rs1, 2, rd, kOpcOp);
+      case Op::kSltu: return rType(0x00, rs2, rs1, 3, rd, kOpcOp);
+      case Op::kXor: return rType(0x00, rs2, rs1, 4, rd, kOpcOp);
+      case Op::kSrl: return rType(0x00, rs2, rs1, 5, rd, kOpcOp);
+      case Op::kSra: return rType(0x20, rs2, rs1, 5, rd, kOpcOp);
+      case Op::kOr: return rType(0x00, rs2, rs1, 6, rd, kOpcOp);
+      case Op::kAnd: return rType(0x00, rs2, rs1, 7, rd, kOpcOp);
+
+      case Op::kMul: return rType(0x01, rs2, rs1, 0, rd, kOpcOp);
+      case Op::kMulh: return rType(0x01, rs2, rs1, 1, rd, kOpcOp);
+      case Op::kMulhsu: return rType(0x01, rs2, rs1, 2, rd, kOpcOp);
+      case Op::kMulhu: return rType(0x01, rs2, rs1, 3, rd, kOpcOp);
+      case Op::kDiv: return rType(0x01, rs2, rs1, 4, rd, kOpcOp);
+      case Op::kDivu: return rType(0x01, rs2, rs1, 5, rd, kOpcOp);
+      case Op::kRem: return rType(0x01, rs2, rs1, 6, rd, kOpcOp);
+      case Op::kRemu: return rType(0x01, rs2, rs1, 7, rd, kOpcOp);
+
+      case Op::kFence: return iType(0, 0, 0, 0, kOpcMiscMem);
+      case Op::kEcall: return iType(0, 0, 0, 0, kOpcSystem);
+      case Op::kEbreak: return iType(1, 0, 0, 0, kOpcSystem);
+      case Op::kMret: return rType(0x18, 2, 0, 0, 0, kOpcSystem);
+      case Op::kWfi: return rType(0x08, 5, 0, 0, 0, kOpcSystem);
+
+      case Op::kCsrrw: return csrType(csr, rs1, 1, rd);
+      case Op::kCsrrs: return csrType(csr, rs1, 2, rd);
+      case Op::kCsrrc: return csrType(csr, rs1, 3, rd);
+      case Op::kCsrrwi:
+        return csrType(csr, static_cast<RegIndex>(imm & 0x1F), 5, rd);
+      case Op::kCsrrsi:
+        return csrType(csr, static_cast<RegIndex>(imm & 0x1F), 6, rd);
+      case Op::kCsrrci:
+        return csrType(csr, static_cast<RegIndex>(imm & 0x1F), 7, rd);
+
+      // Custom-0, R-type, funct3 = 0, funct7 selects the operation.
+      case Op::kSetContextId:
+        return rType(0x00, 0, rs1, 0, 0, kOpcCustom0);
+      case Op::kGetHwSched:
+        return rType(0x01, 0, 0, 0, rd, kOpcCustom0);
+      case Op::kAddReady:
+        return rType(0x02, rs2, rs1, 0, 0, kOpcCustom0);
+      case Op::kAddDelay:
+        return rType(0x03, rs2, rs1, 0, 0, kOpcCustom0);
+      case Op::kRmTask:
+        return rType(0x04, 0, rs1, 0, 0, kOpcCustom0);
+      case Op::kSwitchRf:
+        return rType(0x05, 0, 0, 0, 0, kOpcCustom0);
+      case Op::kSemTake:
+        return rType(0x06, 0, rs1, 0, rd, kOpcCustom0);
+      case Op::kSemGive:
+        return rType(0x07, 0, rs1, 0, rd, kOpcCustom0);
+
+      case Op::kInvalid:
+        break;
+    }
+    panic("cannot encode opcode %s", opName(op));
+}
+
+Word
+encode(const DecodedInsn &insn)
+{
+    return encode(insn.op, insn.rd, insn.rs1, insn.rs2, insn.imm, insn.csr);
+}
+
+} // namespace rtu

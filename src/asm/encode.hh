@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Instruction encoding: DecodedInsn / explicit fields -> 32-bit word.
+ */
+
+#ifndef RTU_ASM_ENCODE_HH
+#define RTU_ASM_ENCODE_HH
+
+#include "common/types.hh"
+#include "insn.hh"
+
+namespace rtu {
+
+/**
+ * Encode one instruction. Immediates must be in range for the format
+ * (checked; out-of-range values panic, since the assembler is the only
+ * caller and such values indicate an internal bug).
+ */
+Word encode(Op op, RegIndex rd, RegIndex rs1, RegIndex rs2, SWord imm,
+            std::uint16_t csr = 0);
+
+/** Encode from a decoded instruction (round-trip support). */
+Word encode(const DecodedInsn &insn);
+
+} // namespace rtu
+
+#endif // RTU_ASM_ENCODE_HH

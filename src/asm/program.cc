@@ -1,0 +1,26 @@
+#include "program.hh"
+
+#include "common/logging.hh"
+
+namespace rtu {
+
+Addr
+Program::symbol(const std::string &name) const
+{
+    auto it = symbols.find(name);
+    if (it == symbols.end())
+        panic("undefined symbol '%s'", name.c_str());
+    return it->second;
+}
+
+std::string
+Program::functionAt(Addr addr) const
+{
+    for (const auto &[name, range] : functions) {
+        if (addr >= range.first && addr < range.second)
+            return name;
+    }
+    return "";
+}
+
+} // namespace rtu

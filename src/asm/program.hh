@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Assembled guest program image: text, data, symbols and WCET
+ * annotations.
+ */
+
+#ifndef RTU_ASM_PROGRAM_HH
+#define RTU_ASM_PROGRAM_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace rtu {
+
+/**
+ * The output of the Assembler: two contiguous sections plus metadata.
+ * Loaded verbatim into the simulated IMEM/DMEM.
+ */
+struct Program
+{
+    Addr textBase = 0;
+    std::vector<Word> text;
+
+    Addr dataBase = 0;
+    std::vector<Word> data;
+
+    /** Symbol name -> absolute address (labels and data symbols). */
+    std::map<std::string, Addr> symbols;
+
+    /**
+     * WCET annotations: address of a loop's conditional back-edge or
+     * guard branch -> maximum iteration count. Consumed by the static
+     * analyzer (src/wcet).
+     */
+    std::map<Addr, unsigned> loopBounds;
+
+    /** Function name -> [start, end) address range, for traces. */
+    std::map<std::string, std::pair<Addr, Addr>> functions;
+
+    Addr textEnd() const { return textBase + 4 * text.size(); }
+    Addr dataEnd() const { return dataBase + 4 * data.size(); }
+
+    /** Lookup that fails loudly when a symbol is missing. */
+    Addr symbol(const std::string &name) const;
+
+    /** Name of the function containing @p addr, or "" if unknown. */
+    std::string functionAt(Addr addr) const;
+};
+
+} // namespace rtu
+
+#endif // RTU_ASM_PROGRAM_HH

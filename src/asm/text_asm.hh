@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Text-assembly front end: parse a small RV32IM assembly dialect into
+ * the programmatic Assembler, so guest code can be written as plain
+ * strings instead of builder calls.
+ *
+ * Supported syntax (one statement per line, '#' comments):
+ *   label:                       — bind a label
+ *   addi a0, a1, -4              — every Op the simulator knows
+ *   lw a0, 16(sp)  /  sw a0, 0(t1)
+ *   beq a0, a1, target           — branch/jump targets are labels
+ *   csrr t0, mstatus  /  csrw mscratch, t0  /  csrrwi t0, mtvec, 3
+ *   li a0, 0xDEAD  /  la a0, symbol  /  j loop  /  call fn  /  ret
+ *   rtu.getsched t0              — RTOSUnit custom instructions
+ *   .word name value             — data word
+ *   .array name count            — zero-initialized data words
+ *   .loopbound N                 — WCET annotation for the next branch
+ */
+
+#ifndef RTU_ASM_TEXT_ASM_HH
+#define RTU_ASM_TEXT_ASM_HH
+
+#include <string>
+
+#include "assembler.hh"
+
+namespace rtu {
+
+/**
+ * Assemble @p source into @p target. Fatal on syntax errors, with the
+ * line number in the message (user-facing input).
+ */
+void assembleText(Assembler &target, const std::string &source);
+
+/** Convenience: assemble a standalone program. */
+Program assembleProgram(const std::string &source,
+                        Addr text_base = 0x0,
+                        Addr data_base = 0x1000'0000);
+
+} // namespace rtu
+
+#endif // RTU_ASM_TEXT_ASM_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Bit-manipulation helpers for instruction encode/decode.
+ */
+
+#ifndef RTU_COMMON_BITUTIL_HH
+#define RTU_COMMON_BITUTIL_HH
+
+#include <cstdint>
+
+#include "types.hh"
+
+namespace rtu {
+
+/** Extract bits [hi:lo] (inclusive) from @p value. */
+constexpr Word
+bits(Word value, unsigned hi, unsigned lo)
+{
+    const Word width = hi - lo + 1;
+    const Word mask = width >= 32 ? ~Word{0} : ((Word{1} << width) - 1);
+    return (value >> lo) & mask;
+}
+
+/** Extract a single bit. */
+constexpr Word
+bit(Word value, unsigned pos)
+{
+    return (value >> pos) & 1u;
+}
+
+/** Sign-extend the low @p width bits of @p value to 32 bits. */
+constexpr SWord
+sext(Word value, unsigned width)
+{
+    const unsigned shift = 32 - width;
+    return static_cast<SWord>(value << shift) >> shift;
+}
+
+/** Insert @p field into bits [hi:lo] of a zeroed word. */
+constexpr Word
+insertBits(Word field, unsigned hi, unsigned lo)
+{
+    const Word width = hi - lo + 1;
+    const Word mask = width >= 32 ? ~Word{0} : ((Word{1} << width) - 1);
+    return (field & mask) << lo;
+}
+
+/** True if @p value fits in a signed immediate of @p width bits. */
+constexpr bool
+fitsSigned(SWord value, unsigned width)
+{
+    const SWord lo = -(SWord{1} << (width - 1));
+    const SWord hi = (SWord{1} << (width - 1)) - 1;
+    return value >= lo && value <= hi;
+}
+
+/** Align @p addr down to a multiple of @p align (power of two). */
+constexpr Addr
+alignDown(Addr addr, Addr align)
+{
+    return addr & ~(align - 1);
+}
+
+/** True if @p addr is aligned to @p align (power of two). */
+constexpr bool
+isAligned(Addr addr, Addr align)
+{
+    return (addr & (align - 1)) == 0;
+}
+
+} // namespace rtu
+
+#endif // RTU_COMMON_BITUTIL_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Error and status reporting in the gem5 idiom.
+ *
+ * panic()  — an internal invariant of the simulator was violated (a bug in
+ *            this code base). Aborts.
+ * fatal()  — the simulation cannot continue due to a user-level error
+ *            (bad configuration, invalid workload). Exits with code 1.
+ * warn()   — something works well enough but deserves attention.
+ * inform() — plain status output.
+ */
+
+#ifndef RTU_COMMON_LOGGING_HH
+#define RTU_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace rtu {
+
+/** Printf-style formatting into a std::string. */
+std::string csprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt,
+                            ...) __attribute__((format(printf, 3, 4)));
+
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt,
+                            ...) __attribute__((format(printf, 3, 4)));
+
+void warnImpl(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+void informImpl(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Globally silence warn()/inform() (used by benchmarks). */
+void setQuiet(bool quiet);
+bool quiet();
+
+} // namespace rtu
+
+#define panic(...) ::rtu::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define fatal(...) ::rtu::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define warn(...) ::rtu::warnImpl(__VA_ARGS__)
+#define inform(...) ::rtu::informImpl(__VA_ARGS__)
+
+/**
+ * Simulator-internal invariant check; active in all build types because
+ * timing bugs are silent otherwise.
+ */
+#define rtu_assert(cond, fmt, ...)                                       \
+    do {                                                                 \
+        if (!(cond))                                                     \
+            ::rtu::panicImpl(__FILE__, __LINE__,                         \
+                             "assertion '" #cond "' failed: " fmt,       \
+                             ##__VA_ARGS__);                             \
+    } while (0)
+
+#endif // RTU_COMMON_LOGGING_HH

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Sample statistics used to aggregate context-switch latencies.
+ */
+
+#ifndef RTU_COMMON_STATS_HH
+#define RTU_COMMON_STATS_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "logging.hh"
+#include "types.hh"
+
+namespace rtu {
+
+/**
+ * Online min/max/mean plus retained samples for percentiles and
+ * distribution inspection (sample counts here are small: hundreds of
+ * context switches per run).
+ */
+class SampleStats
+{
+  public:
+    void
+    add(double v)
+    {
+        samples_.push_back(v);
+        sum_ += v;
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+
+    std::uint64_t count() const { return samples_.size(); }
+    bool empty() const { return samples_.empty(); }
+
+    double
+    mean() const
+    {
+        rtu_assert(!empty(), "mean of empty sample set");
+        return sum_ / static_cast<double>(samples_.size());
+    }
+
+    double
+    min() const
+    {
+        rtu_assert(!empty(), "min of empty sample set");
+        return min_;
+    }
+
+    double
+    max() const
+    {
+        rtu_assert(!empty(), "max of empty sample set");
+        return max_;
+    }
+
+    /** Jitter as defined by the paper: max - min. */
+    double jitter() const { return max() - min(); }
+
+    /** p in [0,1]; nearest-rank percentile. */
+    double
+    percentile(double p) const
+    {
+        rtu_assert(!empty(), "percentile of empty sample set");
+        std::vector<double> sorted(samples_);
+        std::sort(sorted.begin(), sorted.end());
+        const auto idx = static_cast<size_t>(
+            p * static_cast<double>(sorted.size() - 1) + 0.5);
+        return sorted[std::min(idx, sorted.size() - 1)];
+    }
+
+    double
+    stddev() const
+    {
+        rtu_assert(!empty(), "stddev of empty sample set");
+        const double m = mean();
+        double acc = 0.0;
+        for (double v : samples_)
+            acc += (v - m) * (v - m);
+        return samples_.size() > 1
+            ? std::sqrt(acc / static_cast<double>(samples_.size() - 1))
+            : 0.0;
+    }
+
+    const std::vector<double> &samples() const { return samples_; }
+
+    void
+    merge(const SampleStats &other)
+    {
+        for (double v : other.samples_)
+            add(v);
+    }
+
+  private:
+    std::vector<double> samples_;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+} // namespace rtu
+
+#endif // RTU_COMMON_STATS_HH

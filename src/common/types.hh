@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the simulator.
+ */
+
+#ifndef RTU_COMMON_TYPES_HH
+#define RTU_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace rtu {
+
+/** 32-bit machine word (RV32). */
+using Word = std::uint32_t;
+
+/** Signed view of a machine word. */
+using SWord = std::int32_t;
+
+/** 64-bit double word (mtime, products of MUL). */
+using DWord = std::uint64_t;
+
+/** Byte address in the guest physical address space. */
+using Addr = std::uint32_t;
+
+/** Simulation time in core clock cycles. */
+using Cycle = std::uint64_t;
+
+/** Architectural register index (0..31). */
+using RegIndex = std::uint8_t;
+
+/** Task identifier used by the RTOSUnit hardware lists. */
+using TaskId = std::uint8_t;
+
+/** Task priority (higher value = more urgent, FreeRTOS convention). */
+using Priority = std::uint8_t;
+
+} // namespace rtu
+
+#endif // RTU_COMMON_TYPES_HH

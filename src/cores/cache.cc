@@ -1,0 +1,93 @@
+#include "cache.hh"
+
+namespace rtu {
+
+CacheModel::CacheModel(const CacheParams &params) : params_(params)
+{
+    rtu_assert(params_.lineBytes >= 4 &&
+               (params_.lineBytes & (params_.lineBytes - 1)) == 0,
+               "bad line size %u", params_.lineBytes);
+    rtu_assert(params_.ways > 0, "cache needs at least one way");
+    numSets_ = params_.sizeBytes / (params_.ways * params_.lineBytes);
+    rtu_assert(numSets_ > 0 && (numSets_ & (numSets_ - 1)) == 0,
+               "set count %u must be a power of two", numSets_);
+    lines_.resize(numSets_ * params_.ways);
+}
+
+unsigned
+CacheModel::setIndex(Addr addr) const
+{
+    return (addr / params_.lineBytes) & (numSets_ - 1);
+}
+
+Addr
+CacheModel::tagOf(Addr addr) const
+{
+    return addr / params_.lineBytes / numSets_;
+}
+
+CacheModel::AccessResult
+CacheModel::access(Addr addr, bool is_store)
+{
+    AccessResult res;
+    const unsigned set = setIndex(addr);
+    const Addr tag = tagOf(addr);
+    Line *base = &lines_[set * params_.ways];
+    ++useCounter_;
+
+    for (unsigned w = 0; w < params_.ways; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            line.lastUse = useCounter_;
+            if (is_store && params_.writeBack)
+                line.dirty = true;
+            ++stats_.hits;
+            res.hit = true;
+            return res;
+        }
+    }
+
+    ++stats_.misses;
+    if (is_store && !params_.writeBack)
+        return res;  // write-through, no write-allocate
+
+    // Allocate: evict the LRU way.
+    Line *victim = &base[0];
+    for (unsigned w = 1; w < params_.ways; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+        if (base[w].lastUse < victim->lastUse)
+            victim = &base[w];
+    }
+    if (victim->valid && victim->dirty) {
+        res.writeback = true;
+        ++stats_.writebacks;
+    }
+    victim->valid = true;
+    victim->dirty = is_store && params_.writeBack;
+    victim->tag = tag;
+    victim->lastUse = useCounter_;
+    return res;
+}
+
+void
+CacheModel::invalidateRange(Addr base, unsigned bytes)
+{
+    for (Addr a = base & ~(params_.lineBytes - 1); a < base + bytes;
+         a += params_.lineBytes) {
+        const unsigned set = setIndex(a);
+        const Addr tag = tagOf(a);
+        Line *lines = &lines_[set * params_.ways];
+        for (unsigned w = 0; w < params_.ways; ++w) {
+            if (lines[w].valid && lines[w].tag == tag) {
+                lines[w].valid = false;
+                lines[w].dirty = false;
+                ++stats_.invalidations;
+            }
+        }
+    }
+}
+
+} // namespace rtu

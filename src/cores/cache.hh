@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Set-associative cache timing model (tags only — data always comes
+ * functionally from the memory system). Used write-through by the
+ * CVA6 model and write-back by the NaxRiscv model; also provides the
+ * back-invalidation hook the CV32RT baseline needs on NaxRiscv.
+ */
+
+#ifndef RTU_CORES_CACHE_HH
+#define RTU_CORES_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "rtosunit/unit_mem.hh"
+
+namespace rtu {
+
+struct CacheParams
+{
+    unsigned sizeBytes = 8 * 1024;
+    unsigned ways = 4;
+    unsigned lineBytes = 16;
+    bool writeBack = false;  ///< false: write-through, no write-allocate
+};
+
+struct CacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t writebacks = 0;
+    std::uint64_t invalidations = 0;
+};
+
+class CacheModel : public UnitCacheHook
+{
+  public:
+    explicit CacheModel(const CacheParams &params);
+
+    struct AccessResult
+    {
+        bool hit = false;
+        bool writeback = false;  ///< dirty victim evicted (write-back)
+    };
+
+    /**
+     * Touch the line containing @p addr. Loads and (write-back)
+     * stores allocate on miss; write-through stores do not allocate.
+     */
+    AccessResult access(Addr addr, bool is_store);
+
+    /** CV32RT dedicated-port drain: drop the affected lines. */
+    void invalidateRange(Addr base, unsigned bytes) override;
+
+    const CacheStats &stats() const { return stats_; }
+    const CacheParams &params() const { return params_; }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        Addr tag = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    unsigned setIndex(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+
+    CacheParams params_;
+    unsigned numSets_;
+    std::vector<Line> lines_;  // sets * ways
+    std::uint64_t useCounter_ = 0;
+    CacheStats stats_;
+};
+
+} // namespace rtu
+
+#endif // RTU_CORES_CACHE_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Abstract core timing model. Concrete models (CV32E40P, CVA6,
+ * NaxRiscv) decide when instructions execute; the shared Executor
+ * applies their semantics.
+ */
+
+#ifndef RTU_CORES_CORE_HH
+#define RTU_CORES_CORE_HH
+
+#include <cstdint>
+
+#include "arch_state.hh"
+#include "asm/decode.hh"
+#include "executor.hh"
+#include "sim/clint.hh"
+#include "sim/irq.hh"
+#include "sim/mem.hh"
+
+namespace rtu {
+
+/** Simulation-side observer of trap boundaries (latency recording). */
+class CoreListener
+{
+  public:
+    virtual ~CoreListener() = default;
+    /** An interrupt/exception was taken at @p entry_cycle. */
+    virtual void trapTaken(Word cause, Cycle entry_cycle) = 0;
+    /** An mret completed (the paper's latency end point). */
+    virtual void mretCompleted(Cycle cycle) = 0;
+};
+
+struct CoreStats
+{
+    std::uint64_t instret = 0;
+    std::uint64_t traps = 0;
+    std::uint64_t mrets = 0;
+    std::uint64_t wfiCycles = 0;
+    std::uint64_t memOps = 0;
+    std::uint64_t stallCycles = 0;
+    std::uint64_t branchMispredicts = 0;
+    std::uint64_t cacheMisses = 0;
+};
+
+class Core
+{
+  public:
+    struct Env
+    {
+        ArchState *state = nullptr;
+        Executor *exec = nullptr;
+        MemSystem *mem = nullptr;
+        IrqLines *irq = nullptr;
+        SharedPort *dmemPort = nullptr;
+        Clint *clint = nullptr;
+    };
+
+    explicit Core(const Env &env)
+        : state_(*env.state), exec_(*env.exec), mem_(*env.mem),
+          irq_(*env.irq), dmemPort_(*env.dmemPort), clint_(*env.clint)
+    {}
+    virtual ~Core() = default;
+
+    /** Advance one clock cycle. */
+    virtual void tick(Cycle now) = 0;
+
+    virtual const char *name() const = 0;
+
+    void setListener(CoreListener *l) { listener_ = l; }
+
+    const CoreStats &stats() const { return stats_; }
+
+  protected:
+    /** Fetch and decode the instruction at @p pc (Harvard I-side). */
+    DecodedInsn
+    fetch(Addr pc)
+    {
+        return decode(mem_.read32(pc));
+    }
+
+    /**
+     * Apply trap semantics: timer auto-reset notification, CSR
+     * updates, redirect, RTOSUnit entry hook, listener event.
+     */
+    void
+    functionalTrap(Word cause, Addr epc, Cycle now)
+    {
+        if (cause == mcause::kMachineTimer)
+            clint_.timerTaken();
+        exec_.takeTrap(cause, epc);
+        ++stats_.traps;
+        if (listener_)
+            listener_->trapTaken(cause, now);
+    }
+
+    ArchState &state_;
+    Executor &exec_;
+    MemSystem &mem_;
+    IrqLines &irq_;
+    SharedPort &dmemPort_;
+    Clint &clint_;
+    CoreListener *listener_ = nullptr;
+    CoreStats stats_;
+};
+
+} // namespace rtu
+
+#endif // RTU_CORES_CORE_HH

@@ -1,0 +1,153 @@
+#include "cv32e40p.hh"
+
+#include <bit>
+
+namespace rtu {
+
+bool
+Cv32e40pCore::stalledByUnit(const DecodedInsn &insn) const
+{
+    RtosUnitPort *unit = exec_.unit();
+    if (!unit)
+        return false;
+    switch (insn.op) {
+      case Op::kSwitchRf:
+        return unit->switchRfStall();
+      case Op::kGetHwSched:
+        return unit->getHwSchedStall();
+      case Op::kMret:
+        return unit->mretStall();
+      case Op::kSemTake:
+      case Op::kSemGive:
+        return unit->semOpStall();
+      default:
+        return false;
+    }
+}
+
+unsigned
+Cv32e40pCore::costOf(const DecodedInsn &insn, const ExecResult &res) const
+{
+    switch (classOf(insn.op)) {
+      case InsnClass::kJump:
+        return params_.jumpCycles;
+      case InsnClass::kBranch:
+        return res.branchTaken ? params_.takenBranchCycles : 1;
+      case InsnClass::kDiv:
+        // Iterative divider: latency scales with dividend magnitude.
+        return params_.divBaseCycles + divOperandBits_;
+      case InsnClass::kSystem:
+        if (insn.op == Op::kMret)
+            return params_.mretCycles;
+        return 1;
+      default:
+        return 1;
+    }
+}
+
+void
+Cv32e40pCore::tick(Cycle now)
+{
+    if (remaining_ > 0) {
+        // CV32E40P kills in-flight multi-cycle ALU operations so the
+        // interrupt is taken with constant latency.
+        if (abortable_ && exec_.interruptReady()) {
+            remaining_ = 0;
+            abortable_ = false;
+        } else {
+            --remaining_;
+            ++stats_.stallCycles;
+            if (remaining_ == 0 && mretInFlight_) {
+                mretInFlight_ = false;
+                if (listener_)
+                    listener_->mretCompleted(now);
+            }
+            return;
+        }
+    }
+
+    if (sleeping_) {
+        if (exec_.pendingEnabledIrqs() != 0) {
+            sleeping_ = false;
+        } else {
+            ++stats_.wfiCycles;
+            return;
+        }
+    }
+
+    if (exec_.interruptReady()) {
+        const Word cause = exec_.pendingCause();
+        functionalTrap(cause, state_.pc(), now);
+        remaining_ = params_.trapEntryCycles - 1;
+        abortable_ = false;
+        lastWasLoad_ = false;
+        return;
+    }
+
+    const Addr pc = state_.pc();
+    const DecodedInsn insn = fetch(pc);
+
+    if (stalledByUnit(insn)) {
+        ++stats_.stallCycles;
+        return;
+    }
+
+    // Load-use hazard: one bubble when the previous instruction was a
+    // load whose destination this instruction consumes.
+    unsigned extra = 0;
+    if (lastWasLoad_ && lastLoadRd_ != 0) {
+        const bool uses =
+            (readsRs1(insn.op) && insn.rs1 == lastLoadRd_) ||
+            (readsRs2(insn.op) && insn.rs2 == lastLoadRd_);
+        if (uses)
+            extra = params_.loadUseStall;
+    }
+
+    // Capture the dividend before execution mutates the register file
+    // (rd may alias rs1).
+    divOperandBits_ = 0;
+    if (classOf(insn.op) == InsnClass::kDiv) {
+        const Word dividend = state_.reg(insn.rs1);
+        divOperandBits_ = 32 - std::countl_zero(dividend | 1);
+    }
+
+    const ExecResult res = exec_.execute(insn, pc);
+
+    if (res.trap) {
+        functionalTrap(res.trapCause, pc, now);
+        remaining_ = params_.trapEntryCycles - 1;
+        return;
+    }
+
+    state_.setPc(res.nextPc);
+    ++stats_.instret;
+
+    if (res.memAccess) {
+        dmemPort_.claim();
+        ++stats_.memOps;
+    }
+
+    if (res.isWfi)
+        sleeping_ = true;
+
+    const unsigned cost = costOf(insn, res) + extra;
+    remaining_ = cost - 1;
+    const InsnClass cls = classOf(insn.op);
+    abortable_ =
+        remaining_ > 0 && (cls == InsnClass::kDiv || cls == InsnClass::kMul);
+
+    if (insn.op == Op::kMret) {
+        ++stats_.mrets;
+        if (remaining_ == 0) {
+            if (listener_)
+                listener_->mretCompleted(now);
+        } else {
+            mretInFlight_ = true;
+        }
+    }
+
+    lastWasLoad_ = cls == InsnClass::kLoad;
+    lastLoadRd_ = insn.rd;
+}
+
+} // namespace rtu

@@ -1,0 +1,221 @@
+#include "cva6.hh"
+
+#include <bit>
+
+#include "sim/memmap.hh"
+
+namespace rtu {
+
+Cva6Core::Cva6Core(const Env &env, SharedPort &bus_port,
+                   const Cva6Params &params)
+    : Core(env), params_(params), busPort_(bus_port),
+      dcache_(params.cache)
+{
+    predictor_.assign(params_.predictorEntries, 1);  // weakly not-taken
+}
+
+unsigned
+Cva6Core::predictorIndex(Addr pc) const
+{
+    return (pc >> 2) & (params_.predictorEntries - 1);
+}
+
+bool
+Cva6Core::stalledByUnit(const DecodedInsn &insn) const
+{
+    RtosUnitPort *unit = exec_.unit();
+    if (!unit)
+        return false;
+    switch (insn.op) {
+      case Op::kSwitchRf: return unit->switchRfStall();
+      case Op::kGetHwSched: return unit->getHwSchedStall();
+      case Op::kMret: return unit->mretStall();
+      case Op::kSemTake:
+      case Op::kSemGive:
+        return unit->semOpStall();
+      default: return false;
+    }
+}
+
+void
+Cva6Core::tick(Cycle now)
+{
+    // Bus occupancy: an in-flight refill owns the bus; otherwise the
+    // write-through store buffer drains one entry per free cycle.
+    if (now < busBusyUntil_) {
+        busPort_.claim();
+    } else if (storeBuf_ > 0) {
+        busPort_.claim();
+        --storeBuf_;
+    }
+
+    if (mretPending_ && now >= mretDoneAt_) {
+        mretPending_ = false;
+        if (listener_)
+            listener_->mretCompleted(now);
+    }
+
+    if (sleeping_) {
+        if (exec_.pendingEnabledIrqs() != 0) {
+            sleeping_ = false;
+        } else {
+            ++stats_.wfiCycles;
+            return;
+        }
+    }
+
+    if (now < issueReadyAt_) {
+        ++stats_.stallCycles;
+        return;
+    }
+
+    if (exec_.interruptReady() && !mretPending_) {
+        if (now < drainAt_) {
+            // Variable-latency drain of in-flight operations: the
+            // modelled source of CVA6's residual entry jitter.
+            ++stats_.stallCycles;
+            return;
+        }
+        const Word cause = exec_.pendingCause();
+        functionalTrap(cause, state_.pc(), now);
+        issueReadyAt_ = now + params_.trapEntryBase;
+        regReadyAt_.fill(now);
+        return;
+    }
+
+    issue(now);
+}
+
+void
+Cva6Core::issue(Cycle now)
+{
+    const Addr pc = state_.pc();
+    const DecodedInsn insn = fetch(pc);
+
+    if (stalledByUnit(insn)) {
+        ++stats_.stallCycles;
+        issueReadyAt_ = now + 1;
+        return;
+    }
+
+    // Scoreboard RAW check: sources must have completed.
+    Cycle ops_ready = now;
+    if (readsRs1(insn.op))
+        ops_ready = std::max(ops_ready, regReadyAt_[insn.rs1]);
+    if (readsRs2(insn.op))
+        ops_ready = std::max(ops_ready, regReadyAt_[insn.rs2]);
+    if (ops_ready > now) {
+        issueReadyAt_ = ops_ready;
+        stats_.stallCycles += ops_ready - now;
+        return;
+    }
+
+    const InsnClass cls = classOf(insn.op);
+
+    // Structural: a full write-through buffer blocks further stores.
+    if (cls == InsnClass::kStore && storeBuf_ >= params_.storeBufferDepth) {
+        issueReadyAt_ = now + 1;
+        ++stats_.stallCycles;
+        return;
+    }
+
+    unsigned div_bits = 0;
+    if (cls == InsnClass::kDiv) {
+        const Word dividend = state_.reg(insn.rs1);
+        div_bits = 32 - std::countl_zero(dividend | 1);
+    }
+
+    const ExecResult res = exec_.execute(insn, pc);
+    if (res.trap) {
+        functionalTrap(res.trapCause, pc, now);
+        issueReadyAt_ = now + params_.trapEntryBase;
+        regReadyAt_.fill(now);
+        return;
+    }
+    state_.setPc(res.nextPc);
+    ++stats_.instret;
+
+    Cycle complete = now + 1;
+    Cycle issue_next = now + 1;
+
+    switch (cls) {
+      case InsnClass::kMul:
+        complete = now + params_.mulLatency;
+        break;
+      case InsnClass::kDiv:
+        complete = now + params_.divBaseLatency + div_bits;
+        break;
+      case InsnClass::kLoad: {
+        ++stats_.memOps;
+        const bool cacheable = res.memAddr >= memmap::kDmemBase &&
+                               res.memAddr <
+                                   memmap::kDmemBase + memmap::kDmemSize;
+        if (cacheable) {
+            const auto acc = dcache_.access(res.memAddr, false);
+            if (acc.hit) {
+                complete = now + params_.loadHitLatency;
+            } else {
+                ++stats_.cacheMisses;
+                complete = now + params_.loadHitLatency +
+                           params_.missPenalty;
+                busBusyUntil_ = std::max(busBusyUntil_, now) +
+                                params_.missPenalty;
+            }
+        } else {
+            // Uncached device access occupies the bus for one beat.
+            complete = now + params_.loadHitLatency + 1;
+            busBusyUntil_ = std::max(busBusyUntil_, now + 1);
+        }
+        break;
+      }
+      case InsnClass::kStore: {
+        ++stats_.memOps;
+        const bool cacheable = res.memAddr >= memmap::kDmemBase &&
+                               res.memAddr <
+                                   memmap::kDmemBase + memmap::kDmemSize;
+        if (cacheable)
+            dcache_.access(res.memAddr, true);
+        ++storeBuf_;  // drains through the bus in the background
+        break;
+      }
+      case InsnClass::kBranch: {
+        const unsigned idx = predictorIndex(pc);
+        std::uint8_t &ctr = predictor_[idx];
+        const bool predicted_taken = ctr >= 2;
+        if (predicted_taken != res.branchTaken) {
+            ++stats_.branchMispredicts;
+            issue_next = now + 1 + params_.mispredictPenalty;
+        }
+        if (res.branchTaken) {
+            if (ctr < 3)
+                ++ctr;
+        } else if (ctr > 0) {
+            --ctr;
+        }
+        break;
+      }
+      case InsnClass::kJump:
+        issue_next = now + (insn.op == Op::kJal ? params_.jalCycles
+                                                : params_.jalrCycles);
+        break;
+      case InsnClass::kSystem:
+        if (insn.op == Op::kMret) {
+            ++stats_.mrets;
+            issue_next = now + params_.mretCycles;
+            mretPending_ = true;
+            mretDoneAt_ = now + params_.mretCycles - 1;
+        } else if (res.isWfi) {
+            sleeping_ = true;
+        }
+        break;
+      default:
+        break;
+    }
+
+    if (writesRd(insn.op) && insn.rd != 0)
+        regReadyAt_[insn.rd] = complete;
+    drainAt_ = std::max(drainAt_, complete);
+    issueReadyAt_ = std::max(issue_next, now + 1);
+}
+
+} // namespace rtu

@@ -1,0 +1,361 @@
+#include "executor.hh"
+
+#include "asm/disasm.hh"
+#include "common/bitutil.hh"
+
+namespace rtu {
+
+namespace {
+
+Word
+mulh(SWord a, SWord b)
+{
+    const auto p = static_cast<std::int64_t>(a) * static_cast<std::int64_t>(b);
+    return static_cast<Word>(static_cast<std::uint64_t>(p) >> 32);
+}
+
+Word
+mulhsu(SWord a, Word b)
+{
+    const auto p = static_cast<std::int64_t>(a) *
+                   static_cast<std::int64_t>(static_cast<std::uint64_t>(b));
+    return static_cast<Word>(static_cast<std::uint64_t>(p) >> 32);
+}
+
+Word
+mulhu(Word a, Word b)
+{
+    const auto p = static_cast<std::uint64_t>(a) * b;
+    return static_cast<Word>(p >> 32);
+}
+
+} // namespace
+
+Word
+Executor::pendingCause() const
+{
+    const Word p = pendingEnabledIrqs();
+    if (p & irq::kMei)
+        return mcause::kMachineExternal;
+    if (p & irq::kMsi)
+        return mcause::kMachineSoftware;
+    if (p & irq::kMti)
+        return mcause::kMachineTimer;
+    panic("pendingCause() with no pending interrupt");
+}
+
+Word
+Executor::readCsr(std::uint16_t addr) const
+{
+    switch (addr) {
+      case csr::kMstatus: return state_.csrs.mstatus;
+      case csr::kMie: return state_.csrs.mie;
+      case csr::kMtvec: return state_.csrs.mtvec;
+      case csr::kMscratch: return state_.csrs.mscratch;
+      case csr::kMepc: return state_.csrs.mepc;
+      case csr::kMcause: return state_.csrs.mcause;
+      case csr::kMtval: return state_.csrs.mtval;
+      case csr::kMip: return irq_.pending();
+      case csr::kMcycle:
+        return now_ ? static_cast<Word>(*now_) : 0;
+      case csr::kMcycleh:
+        return now_ ? static_cast<Word>(*now_ >> 32) : 0;
+      case csr::kMhartid: return 0;
+      default:
+        panic("read of unimplemented CSR 0x%03x", addr);
+    }
+}
+
+void
+Executor::writeCsr(std::uint16_t addr, Word value)
+{
+    switch (addr) {
+      case csr::kMstatus:
+        // Only MIE/MPIE/MPP are writable in this machine-only model.
+        state_.csrs.mstatus =
+            value & (mstatus::kMie | mstatus::kMpie | mstatus::kMppMask);
+        break;
+      case csr::kMie:
+        state_.csrs.mie = value & (irq::kMsi | irq::kMti | irq::kMei);
+        break;
+      case csr::kMtvec:
+        state_.csrs.mtvec = value & ~Word{3};  // direct mode only
+        break;
+      case csr::kMscratch: state_.csrs.mscratch = value; break;
+      case csr::kMepc: state_.csrs.mepc = value & ~Word{1}; break;
+      case csr::kMcause: state_.csrs.mcause = value; break;
+      case csr::kMtval: state_.csrs.mtval = value; break;
+      case csr::kMip:
+        // Interrupt pending bits are device-driven; writes are ignored.
+        break;
+      case csr::kMcycle:
+      case csr::kMcycleh:
+        break;  // read-only counter in this model
+      default:
+        panic("write of unimplemented CSR 0x%03x", addr);
+    }
+}
+
+void
+Executor::takeTrap(Word cause, Addr epc)
+{
+    Csrs &c = state_.csrs;
+    c.mepc = epc;
+    c.mcause = cause;
+    // MPIE <- MIE; MIE <- 0; MPP <- M.
+    const bool mie = (c.mstatus & mstatus::kMie) != 0;
+    c.mstatus &= ~(mstatus::kMie | mstatus::kMpie);
+    if (mie)
+        c.mstatus |= mstatus::kMpie;
+    c.mstatus |= mstatus::kMppMask;
+    state_.setPc(c.mtvec);
+    if (unit_ && (cause & mcause::kInterruptBit))
+        unit_->onTrapEntry(cause);
+}
+
+ExecResult
+Executor::execute(const DecodedInsn &d, Addr pc)
+{
+    ExecResult res;
+    res.nextPc = pc + 4;
+    ArchState &s = state_;
+
+    const Word rs1 = s.reg(d.rs1);
+    const Word rs2 = s.reg(d.rs2);
+
+    switch (d.op) {
+      case Op::kLui:
+        s.setReg(d.rd, static_cast<Word>(d.imm) << 12);
+        break;
+      case Op::kAuipc:
+        s.setReg(d.rd, pc + (static_cast<Word>(d.imm) << 12));
+        break;
+      case Op::kJal:
+        s.setReg(d.rd, pc + 4);
+        res.nextPc = pc + static_cast<Word>(d.imm);
+        break;
+      case Op::kJalr:
+        s.setReg(d.rd, pc + 4);
+        res.nextPc = (rs1 + static_cast<Word>(d.imm)) & ~Word{1};
+        break;
+
+      case Op::kBeq: res.branchTaken = rs1 == rs2; break;
+      case Op::kBne: res.branchTaken = rs1 != rs2; break;
+      case Op::kBlt:
+        res.branchTaken = static_cast<SWord>(rs1) < static_cast<SWord>(rs2);
+        break;
+      case Op::kBge:
+        res.branchTaken = static_cast<SWord>(rs1) >= static_cast<SWord>(rs2);
+        break;
+      case Op::kBltu: res.branchTaken = rs1 < rs2; break;
+      case Op::kBgeu: res.branchTaken = rs1 >= rs2; break;
+
+      case Op::kLb: case Op::kLh: case Op::kLw:
+      case Op::kLbu: case Op::kLhu: {
+        const Addr addr = rs1 + static_cast<Word>(d.imm);
+        res.memAccess = true;
+        res.memAddr = addr;
+        Word v = 0;
+        switch (d.op) {
+          case Op::kLb:
+            v = static_cast<Word>(sext(mem_.read(addr, MemSize::kByte), 8));
+            break;
+          case Op::kLh:
+            v = static_cast<Word>(sext(mem_.read(addr, MemSize::kHalf), 16));
+            break;
+          case Op::kLw: v = mem_.read(addr, MemSize::kWord); break;
+          case Op::kLbu: v = mem_.read(addr, MemSize::kByte); break;
+          case Op::kLhu: v = mem_.read(addr, MemSize::kHalf); break;
+          default: break;
+        }
+        s.setReg(d.rd, v);
+        break;
+      }
+
+      case Op::kSb: case Op::kSh: case Op::kSw: {
+        const Addr addr = rs1 + static_cast<Word>(d.imm);
+        res.memAccess = true;
+        res.memIsStore = true;
+        res.memAddr = addr;
+        const MemSize sz = d.op == Op::kSb   ? MemSize::kByte
+                           : d.op == Op::kSh ? MemSize::kHalf
+                                             : MemSize::kWord;
+        mem_.write(addr, rs2, sz);
+        break;
+      }
+
+      case Op::kAddi: s.setReg(d.rd, rs1 + static_cast<Word>(d.imm)); break;
+      case Op::kSlti:
+        s.setReg(d.rd, static_cast<SWord>(rs1) < d.imm ? 1 : 0);
+        break;
+      case Op::kSltiu:
+        s.setReg(d.rd, rs1 < static_cast<Word>(d.imm) ? 1 : 0);
+        break;
+      case Op::kXori: s.setReg(d.rd, rs1 ^ static_cast<Word>(d.imm)); break;
+      case Op::kOri: s.setReg(d.rd, rs1 | static_cast<Word>(d.imm)); break;
+      case Op::kAndi: s.setReg(d.rd, rs1 & static_cast<Word>(d.imm)); break;
+      case Op::kSlli: s.setReg(d.rd, rs1 << (d.imm & 31)); break;
+      case Op::kSrli: s.setReg(d.rd, rs1 >> (d.imm & 31)); break;
+      case Op::kSrai:
+        s.setReg(d.rd,
+                 static_cast<Word>(static_cast<SWord>(rs1) >> (d.imm & 31)));
+        break;
+
+      case Op::kAdd: s.setReg(d.rd, rs1 + rs2); break;
+      case Op::kSub: s.setReg(d.rd, rs1 - rs2); break;
+      case Op::kSll: s.setReg(d.rd, rs1 << (rs2 & 31)); break;
+      case Op::kSlt:
+        s.setReg(d.rd,
+                 static_cast<SWord>(rs1) < static_cast<SWord>(rs2) ? 1 : 0);
+        break;
+      case Op::kSltu: s.setReg(d.rd, rs1 < rs2 ? 1 : 0); break;
+      case Op::kXor: s.setReg(d.rd, rs1 ^ rs2); break;
+      case Op::kSrl: s.setReg(d.rd, rs1 >> (rs2 & 31)); break;
+      case Op::kSra:
+        s.setReg(d.rd,
+                 static_cast<Word>(static_cast<SWord>(rs1) >> (rs2 & 31)));
+        break;
+      case Op::kOr: s.setReg(d.rd, rs1 | rs2); break;
+      case Op::kAnd: s.setReg(d.rd, rs1 & rs2); break;
+
+      case Op::kMul: s.setReg(d.rd, rs1 * rs2); break;
+      case Op::kMulh:
+        s.setReg(d.rd,
+                 mulh(static_cast<SWord>(rs1), static_cast<SWord>(rs2)));
+        break;
+      case Op::kMulhsu:
+        s.setReg(d.rd, mulhsu(static_cast<SWord>(rs1), rs2));
+        break;
+      case Op::kMulhu: s.setReg(d.rd, mulhu(rs1, rs2)); break;
+      case Op::kDiv:
+        if (rs2 == 0) {
+            s.setReg(d.rd, ~Word{0});
+        } else if (rs1 == 0x8000'0000 && rs2 == ~Word{0}) {
+            s.setReg(d.rd, 0x8000'0000);
+        } else {
+            s.setReg(d.rd,
+                     static_cast<Word>(static_cast<SWord>(rs1) /
+                                       static_cast<SWord>(rs2)));
+        }
+        break;
+      case Op::kDivu:
+        s.setReg(d.rd, rs2 == 0 ? ~Word{0} : rs1 / rs2);
+        break;
+      case Op::kRem:
+        if (rs2 == 0) {
+            s.setReg(d.rd, rs1);
+        } else if (rs1 == 0x8000'0000 && rs2 == ~Word{0}) {
+            s.setReg(d.rd, 0);
+        } else {
+            s.setReg(d.rd,
+                     static_cast<Word>(static_cast<SWord>(rs1) %
+                                       static_cast<SWord>(rs2)));
+        }
+        break;
+      case Op::kRemu:
+        s.setReg(d.rd, rs2 == 0 ? rs1 : rs1 % rs2);
+        break;
+
+      case Op::kFence:
+        break;
+      case Op::kEcall:
+        res.trap = true;
+        res.trapCause = mcause::kEcallM;
+        break;
+      case Op::kEbreak:
+        panic("guest ebreak at pc 0x%08x", pc);
+      case Op::kWfi:
+        res.isWfi = true;
+        break;
+      case Op::kMret: {
+        Csrs &c = s.csrs;
+        const bool mpie = (c.mstatus & mstatus::kMpie) != 0;
+        c.mstatus &= ~(mstatus::kMie | mstatus::kMpie);
+        if (mpie)
+            c.mstatus |= mstatus::kMie;
+        c.mstatus |= mstatus::kMpie;
+        res.isMret = true;
+        if (unit_)
+            unit_->onMretExecuted();
+        // The restore FSM may have just written mepc: read it after
+        // the unit hook.
+        res.nextPc = c.mepc;
+        break;
+      }
+
+      case Op::kCsrrw: {
+        const Word old = d.rd != 0 ? readCsr(d.csr) : 0;
+        writeCsr(d.csr, rs1);
+        s.setReg(d.rd, old);
+        break;
+      }
+      case Op::kCsrrs: {
+        const Word old = readCsr(d.csr);
+        if (d.rs1 != 0)
+            writeCsr(d.csr, old | rs1);
+        s.setReg(d.rd, old);
+        break;
+      }
+      case Op::kCsrrc: {
+        const Word old = readCsr(d.csr);
+        if (d.rs1 != 0)
+            writeCsr(d.csr, old & ~rs1);
+        s.setReg(d.rd, old);
+        break;
+      }
+      case Op::kCsrrwi: {
+        const Word old = d.rd != 0 ? readCsr(d.csr) : 0;
+        writeCsr(d.csr, static_cast<Word>(d.imm));
+        s.setReg(d.rd, old);
+        break;
+      }
+      case Op::kCsrrsi: {
+        const Word old = readCsr(d.csr);
+        if (d.imm != 0)
+            writeCsr(d.csr, old | static_cast<Word>(d.imm));
+        s.setReg(d.rd, old);
+        break;
+      }
+      case Op::kCsrrci: {
+        const Word old = readCsr(d.csr);
+        if (d.imm != 0)
+            writeCsr(d.csr, old & ~static_cast<Word>(d.imm));
+        s.setReg(d.rd, old);
+        break;
+      }
+
+      case Op::kSetContextId:
+      case Op::kGetHwSched:
+      case Op::kAddReady:
+      case Op::kAddDelay:
+      case Op::kRmTask:
+      case Op::kSwitchRf:
+      case Op::kSemTake:
+      case Op::kSemGive:
+        if (!unit_)
+            panic("custom instruction %s without an RTOSUnit at pc "
+                  "0x%08x", opName(d.op), pc);
+        switch (d.op) {
+          case Op::kSetContextId: unit_->setContextId(rs1); break;
+          case Op::kGetHwSched: s.setReg(d.rd, unit_->getHwSched()); break;
+          case Op::kAddReady: unit_->addReady(rs1, rs2); break;
+          case Op::kAddDelay: unit_->addDelay(rs1, rs2); break;
+          case Op::kRmTask: unit_->rmTask(rs1); break;
+          case Op::kSwitchRf: unit_->switchRf(); break;
+          case Op::kSemTake: s.setReg(d.rd, unit_->semTake(rs1)); break;
+          case Op::kSemGive: s.setReg(d.rd, unit_->semGive(rs1)); break;
+          default: break;
+        }
+        break;
+
+      case Op::kInvalid:
+        panic("illegal instruction 0x%08x at pc 0x%08x (%s)", d.raw, pc,
+              disassemble(d).c_str());
+    }
+
+    if (res.branchTaken)
+        res.nextPc = pc + static_cast<Word>(d.imm);
+    return res;
+}
+
+} // namespace rtu

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The functional executor: the golden architectural model that applies
+ * instruction semantics. Core timing models decide *when* to call it;
+ * the executor decides *what* happens.
+ */
+
+#ifndef RTU_CORES_EXECUTOR_HH
+#define RTU_CORES_EXECUTOR_HH
+
+#include "arch_state.hh"
+#include "asm/insn.hh"
+#include "common/types.hh"
+#include "rtosunit_port.hh"
+#include "sim/irq.hh"
+#include "sim/mem.hh"
+
+namespace rtu {
+
+/** Outcome of executing one instruction (consumed by timing models). */
+struct ExecResult
+{
+    Addr nextPc = 0;
+    bool branchTaken = false;  ///< conditional branch taken
+    bool memAccess = false;
+    bool memIsStore = false;
+    Addr memAddr = 0;
+    bool isMret = false;
+    bool isWfi = false;
+    bool trap = false;         ///< synchronous trap raised (ecall)
+    Word trapCause = 0;
+};
+
+class Executor
+{
+  public:
+    Executor(ArchState &state, MemSystem &mem, IrqLines &irq)
+        : state_(state), mem_(mem), irq_(irq)
+    {}
+
+    /** Attach the RTOSUnit (null => custom instructions are illegal). */
+    void setUnit(RtosUnitPort *unit) { unit_ = unit; }
+    RtosUnitPort *unit() const { return unit_; }
+
+    /** Clock source for the mcycle CSR. */
+    void setClock(const Cycle *now) { now_ = now; }
+
+    /**
+     * Apply the semantics of @p insn located at @p pc. Stall conditions
+     * (SWITCH_RF / GET_HW_SCHED / mret) must already be resolved by
+     * the caller.
+     */
+    ExecResult execute(const DecodedInsn &insn, Addr pc);
+
+    /**
+     * Take a trap: save pc into mepc, update mstatus/mcause, redirect
+     * to mtvec, and notify the RTOSUnit (interrupt entries only).
+     */
+    void takeTrap(Word cause, Addr epc);
+
+    Word readCsr(std::uint16_t addr) const;
+    void writeCsr(std::uint16_t addr, Word value);
+
+    /** Machine-level interrupts both pending and enabled. */
+    Word
+    pendingEnabledIrqs() const
+    {
+        return irq_.pending() & state_.csrs.mie;
+    }
+
+    /** True if an interrupt should be taken (MIE set + pending). */
+    bool
+    interruptReady() const
+    {
+        return (state_.csrs.mstatus & mstatus::kMie) &&
+               pendingEnabledIrqs() != 0;
+    }
+
+    /**
+     * Highest-priority pending interrupt cause (external > software >
+     * timer, the RISC-V privileged order MEI > MSI > MTI).
+     */
+    Word pendingCause() const;
+
+  private:
+    ArchState &state_;
+    MemSystem &mem_;
+    IrqLines &irq_;
+    RtosUnitPort *unit_ = nullptr;
+    const Cycle *now_ = nullptr;
+};
+
+} // namespace rtu
+
+#endif // RTU_CORES_EXECUTOR_HH

@@ -1,0 +1,386 @@
+#include "nax.hh"
+
+#include <bit>
+
+#include "sim/memmap.hh"
+
+namespace rtu {
+
+// ---- ctxQueue port -------------------------------------------------------
+
+void
+NaxCtxQueuePort::pushRead(Addr addr)
+{
+    rtu_assert(canAccept(), "ctxQueue overflow");
+    queue_.push_back({true, addr, 0});
+    ++stats_.reads;
+}
+
+void
+NaxCtxQueuePort::pushWrite(Addr addr, Word data)
+{
+    rtu_assert(canAccept(), "ctxQueue overflow");
+    queue_.push_back({false, addr, data});
+    ++stats_.writes;
+}
+
+bool
+NaxCtxQueuePort::popResponse(Word *data)
+{
+    if (responses_.empty())
+        return false;
+    *data = responses_.front();
+    responses_.pop_front();
+    return true;
+}
+
+bool
+NaxCtxQueuePort::idle() const
+{
+    return queue_.empty() && responses_.empty();
+}
+
+void
+NaxCtxQueuePort::tick()
+{
+    ++now_;
+    if (queue_.empty())
+        return;
+
+    // Issue the oldest unserviced entry into the pipelined cache:
+    // one issue per cycle on a free D$ port (the core's LSU has
+    // priority); a miss blocks further issues until the refill is
+    // done. Deeper queues therefore cover the cache's hit latency —
+    // the mechanism behind the paper's Pareto-optimal depth of 8.
+    Entry *next = nullptr;
+    for (Entry &e : queue_) {
+        if (!e.serviced) {
+            next = &e;
+            break;
+        }
+    }
+    if (next && now_ >= pipeBlockedUntil_) {
+        if (cachePort_.tryUse()) {
+            const auto acc = dcache_.access(next->addr, !next->isRead);
+            unsigned lat = params_.loadHitLatency;
+            if (!acc.hit) {
+                lat += params_.missPenalty;
+                pipeBlockedUntil_ = now_ + params_.missPenalty;
+            }
+            if (acc.writeback) {
+                lat += params_.writebackPenalty;
+                pipeBlockedUntil_ =
+                    std::max(pipeBlockedUntil_, now_) +
+                    params_.writebackPenalty;
+            }
+            next->serviced = true;
+            next->doneAt = now_ + lat;
+        } else {
+            ++stats_.rejectCycles;
+        }
+    }
+
+    // Complete strictly in order.
+    while (!queue_.empty() && queue_.front().serviced &&
+           queue_.front().doneAt <= now_) {
+        Entry &head = queue_.front();
+        if (head.isRead)
+            responses_.push_back(mem_.read32(head.addr));
+        else
+            mem_.write32(head.addr, head.data);
+        queue_.pop_front();
+    }
+}
+
+// ---- core ------------------------------------------------------------------
+
+NaxCore::NaxCore(const Env &env, const NaxParams &params)
+    : Core(env), params_(params), dcache_(params.cache),
+      cachePort_("nax-dcache-port"),
+      ctxPort_(*env.mem, dcache_, cachePort_, params_)
+{
+    predictor_.assign(params_.predictorEntries, 1);
+}
+
+unsigned
+NaxCore::predictorIndex(Addr pc) const
+{
+    return (pc >> 2) & (params_.predictorEntries - 1);
+}
+
+bool
+NaxCore::stalledByUnit(const DecodedInsn &insn) const
+{
+    RtosUnitPort *unit = exec_.unit();
+    if (!unit)
+        return false;
+    switch (insn.op) {
+      case Op::kSwitchRf: return unit->switchRfStall();
+      case Op::kGetHwSched: return unit->getHwSchedStall();
+      case Op::kMret: return unit->mretStall();
+      case Op::kSemTake:
+      case Op::kSemGive:
+        return unit->semOpStall();
+      default: return false;
+    }
+}
+
+void
+NaxCore::retire(Cycle now)
+{
+    while (!rob_.empty() && rob_.front() <= now)
+        rob_.pop_front();
+}
+
+void
+NaxCore::tick(Cycle now)
+{
+    // The cache port must be reset each core cycle (the simulation
+    // only manages the system-level ports).
+    cachePort_.beginCycle();
+
+    // A refill in flight owns the D$ port.
+    if (now < cacheBusyUntil_)
+        cachePort_.claim();
+
+    if (mretPending_ && now >= mretDoneAt_) {
+        mretPending_ = false;
+        if (listener_)
+            listener_->mretCompleted(now);
+    }
+
+    if (sleeping_) {
+        if (exec_.pendingEnabledIrqs() != 0) {
+            sleeping_ = false;
+        } else {
+            ++stats_.wfiCycles;
+            return;
+        }
+    }
+
+    // Interrupts redirect the front-end themselves, so a pending
+    // branch/mret redirect (dispatchBlockedUntil_) does not delay
+    // entry. The interrupt is taken at the *first* commit boundary:
+    // the oldest in-flight instruction completes (its latency — a
+    // divide, a missing load — is the modelled source of NaxRiscv's
+    // residual entry jitter) and everything younger is squashed.
+    // This check runs before retire() so the boundary is observed,
+    // not consumed.
+    if (exec_.interruptReady() && !mretPending_) {
+        if (!rob_.empty() && rob_.front() > now) {
+            ++stats_.stallCycles;
+            return;
+        }
+        rob_.clear();
+        const Word cause = exec_.pendingCause();
+        functionalTrap(cause, state_.pc(), now);
+        dispatchBlockedUntil_ = now + params_.trapEntryPenalty;
+        regReadyAt_.fill(now);
+        aluFreeAt_.fill(now);
+        mulDivFreeAt_ = now;
+        lsuFreeAt_ = now;
+        drainAt_ = now;
+        lastCommitAt_ = now;
+        commitsAtLast_ = 0;
+        return;
+    }
+
+    retire(now);
+
+    if (now < dispatchBlockedUntil_) {
+        ++stats_.stallCycles;
+        return;
+    }
+
+    for (unsigned slot = 0; slot < params_.dispatchWidth; ++slot) {
+        if (!dispatchOne(now))
+            break;
+    }
+}
+
+bool
+NaxCore::dispatchOne(Cycle now)
+{
+    if (rob_.size() >= params_.robEntries) {
+        ++stats_.stallCycles;
+        return false;
+    }
+
+    const Addr pc = state_.pc();
+    const DecodedInsn insn = fetch(pc);
+
+    if (stalledByUnit(insn)) {
+        ++stats_.stallCycles;
+        return false;
+    }
+
+    // Operand readiness via renamed dataflow (RAW only).
+    Cycle ops_ready = now;
+    if (readsRs1(insn.op))
+        ops_ready = std::max(ops_ready, regReadyAt_[insn.rs1]);
+    if (readsRs2(insn.op))
+        ops_ready = std::max(ops_ready, regReadyAt_[insn.rs2]);
+
+    const InsnClass cls = classOf(insn.op);
+
+    unsigned div_bits = 0;
+    if (cls == InsnClass::kDiv) {
+        const Word dividend = state_.reg(insn.rs1);
+        div_bits = 32 - std::countl_zero(dividend | 1);
+    }
+
+    const ExecResult res = exec_.execute(insn, pc);
+    if (res.trap) {
+        functionalTrap(res.trapCause, pc, now);
+        dispatchBlockedUntil_ = now + params_.trapEntryPenalty;
+        return false;
+    }
+    state_.setPc(res.nextPc);
+    ++stats_.instret;
+
+    Cycle complete;
+    bool block_group = false;
+
+    switch (cls) {
+      case InsnClass::kMul: {
+        const Cycle start = std::max(ops_ready, mulDivFreeAt_);
+        mulDivFreeAt_ = start + 1;  // pipelined
+        complete = start + params_.mulLatency;
+        break;
+      }
+      case InsnClass::kDiv: {
+        const Cycle start = std::max(ops_ready, mulDivFreeAt_);
+        const unsigned lat = params_.divBaseLatency + div_bits;
+        mulDivFreeAt_ = start + lat;  // iterative, not pipelined
+        complete = start + lat;
+        break;
+      }
+      case InsnClass::kLoad: {
+        ++stats_.memOps;
+        const Cycle start = std::max(ops_ready, lsuFreeAt_);
+        lsuFreeAt_ = start + 1;
+        if (!cachePort_.claimed())
+            cachePort_.claim();
+        const bool cacheable = res.memAddr >= memmap::kDmemBase &&
+                               res.memAddr <
+                                   memmap::kDmemBase + memmap::kDmemSize;
+        unsigned lat = params_.loadHitLatency;
+        if (cacheable) {
+            const auto acc = dcache_.access(res.memAddr, false);
+            if (!acc.hit) {
+                ++stats_.cacheMisses;
+                lat += params_.missPenalty;
+                cacheBusyUntil_ = std::max(cacheBusyUntil_, start) +
+                                  params_.missPenalty;
+            }
+            if (acc.writeback) {
+                lat += params_.writebackPenalty;
+                cacheBusyUntil_ += params_.writebackPenalty;
+            }
+        } else {
+            lat += 2;  // uncached device access
+        }
+        complete = start + lat;
+        break;
+      }
+      case InsnClass::kStore: {
+        ++stats_.memOps;
+        const Cycle start = std::max(ops_ready, lsuFreeAt_);
+        lsuFreeAt_ = start + 1;
+        if (!cachePort_.claimed())
+            cachePort_.claim();
+        const bool cacheable = res.memAddr >= memmap::kDmemBase &&
+                               res.memAddr <
+                                   memmap::kDmemBase + memmap::kDmemSize;
+        if (cacheable) {
+            const auto acc = dcache_.access(res.memAddr, true);
+            if (!acc.hit) {
+                ++stats_.cacheMisses;
+                cacheBusyUntil_ = std::max(cacheBusyUntil_, start) +
+                                  params_.missPenalty;
+            }
+            if (acc.writeback)
+                cacheBusyUntil_ += params_.writebackPenalty;
+        }
+        complete = start + 1;
+        break;
+      }
+      case InsnClass::kBranch: {
+        const Cycle start = std::max(
+            ops_ready, std::min(aluFreeAt_[0], aluFreeAt_[1]));
+        auto &fu = aluFreeAt_[aluFreeAt_[0] <= aluFreeAt_[1] ? 0 : 1];
+        fu = start + 1;
+        complete = start + 1;
+        const unsigned idx = predictorIndex(pc);
+        std::uint8_t &ctr = predictor_[idx];
+        const bool predicted_taken = ctr >= 2;
+        if (predicted_taken != res.branchTaken) {
+            ++stats_.branchMispredicts;
+            // Front-end redirect after the branch resolves.
+            dispatchBlockedUntil_ = complete + params_.redirectPenalty;
+            block_group = true;
+        }
+        if (res.branchTaken) {
+            if (ctr < 3)
+                ++ctr;
+        } else if (ctr > 0) {
+            --ctr;
+        }
+        break;
+      }
+      case InsnClass::kJump: {
+        complete = now + 1;
+        if (insn.op == Op::kJalr) {
+            // Indirect target resolves at execute; short redirect.
+            dispatchBlockedUntil_ = std::max(ops_ready, now) + 2;
+            block_group = true;
+        }
+        break;
+      }
+      case InsnClass::kSystem: {
+        complete = std::max(ops_ready, now) + 1;
+        if (insn.op == Op::kMret) {
+            ++stats_.mrets;
+            const Cycle done = std::max(drainAt_, complete) +
+                               params_.mretPenalty;
+            dispatchBlockedUntil_ = done;
+            mretPending_ = true;
+            mretDoneAt_ = done - 1;
+            block_group = true;
+        } else if (res.isWfi) {
+            sleeping_ = true;
+            block_group = true;
+        }
+        break;
+      }
+      default: {
+        // ALU / CSR / custom through an ALU pipe.
+        const Cycle start = std::max(
+            ops_ready, std::min(aluFreeAt_[0], aluFreeAt_[1]));
+        auto &fu = aluFreeAt_[aluFreeAt_[0] <= aluFreeAt_[1] ? 0 : 1];
+        fu = start + 1;
+        complete = start + 1;
+        break;
+      }
+    }
+
+    // In-order commit, up to dispatchWidth per cycle.
+    Cycle commit = std::max(complete, lastCommitAt_);
+    if (commit == lastCommitAt_ && commitsAtLast_ >= params_.dispatchWidth)
+        commit += 1;
+    if (commit == lastCommitAt_) {
+        ++commitsAtLast_;
+    } else {
+        lastCommitAt_ = commit;
+        commitsAtLast_ = 1;
+    }
+    rob_.push_back(commit);
+    drainAt_ = commit;
+
+    if (writesRd(insn.op) && insn.rd != 0)
+        regReadyAt_[insn.rd] = complete;
+
+    return !block_group;
+}
+
+} // namespace rtu

@@ -1,0 +1,91 @@
+#include "experiment.hh"
+
+#include "common/logging.hh"
+#include "kernel/kernel.hh"
+
+namespace rtu {
+
+RunResult
+runWorkload(CoreKind core, const RtosUnitConfig &unit,
+            const Workload &workload, Word timer_period_cycles)
+{
+    const WorkloadInfo winfo = workload.info();
+
+    KernelParams kparams;
+    kparams.unit = unit;
+    kparams.timerPeriodCycles = timer_period_cycles;
+    kparams.usesExternalIrq = winfo.usesExternalIrq;
+
+    KernelBuilder kb(kparams);
+    workload.addTasks(kb);
+    const Program program = kb.build();
+
+    SimConfig sconfig;
+    sconfig.core = core;
+    sconfig.unit = unit;
+    sconfig.timerPeriodCycles = timer_period_cycles;
+    sconfig.maxCycles = winfo.maxCycles;
+
+    Simulation sim(sconfig, program);
+    for (Cycle at : winfo.extIrqSchedule)
+        sim.scheduleExtIrq(at);
+
+    const bool exited = sim.run();
+
+    RunResult res;
+    res.core = core;
+    res.unit = unit;
+    res.workload = winfo.name;
+    res.ok = exited && sim.exitCode() == 0;
+    res.exitCode = sim.exitCode();
+    res.cycles = sim.now();
+    res.switchLatency = sim.recorder().latencyStats(true);
+    res.episodeLatency = sim.recorder().latencyStats(false);
+    res.coreStats = sim.coreStats();
+
+    res.activity.cycles = sim.now();
+    res.activity.instret = res.coreStats.instret;
+    res.activity.memOps = res.coreStats.memOps;
+    res.activity.traps = res.coreStats.traps;
+    if (RtosUnit *u = sim.unit()) {
+        const RtosUnitStats &us = u->stats();
+        res.activity.unitMemWords = us.storeWords + us.restoreWords +
+                                    kCtxWords * us.preloadFetches;
+        res.activity.sortPhases = u->readyList().stats().sortPhases +
+                                  u->delayList().stats().sortPhases;
+        res.activity.unitBusyCycles = us.busyCycles;
+    } else if (Cv32rtUnit *c = sim.cv32rtUnit()) {
+        res.activity.unitMemWords = c->stats().drainedWords;
+        res.activity.unitBusyCycles = c->stats().drainedWords;
+    }
+
+    if (!res.ok) {
+        warn("workload '%s' on %s/%s failed (exited=%d code=0x%x after "
+             "%llu cycles)",
+             winfo.name.c_str(), coreKindName(core), unit.name().c_str(),
+             exited ? 1 : 0, res.exitCode,
+             static_cast<unsigned long long>(res.cycles));
+    }
+    return res;
+}
+
+std::vector<RunResult>
+runSuite(CoreKind core, const RtosUnitConfig &unit, unsigned iterations,
+         Word timer_period_cycles)
+{
+    std::vector<RunResult> out;
+    for (const auto &w : standardSuite(iterations))
+        out.push_back(runWorkload(core, unit, *w, timer_period_cycles));
+    return out;
+}
+
+SampleStats
+mergeSwitchLatencies(const std::vector<RunResult> &runs)
+{
+    SampleStats merged;
+    for (const RunResult &r : runs)
+        merged.merge(r.switchLatency);
+    return merged;
+}
+
+} // namespace rtu

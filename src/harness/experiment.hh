@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Experiment driver: run (core × configuration × workload) matrices,
+ * collect context-switch latency distributions and activity counters
+ * (consumed by the latency benches and the power model).
+ */
+
+#ifndef RTU_HARNESS_EXPERIMENT_HH
+#define RTU_HARNESS_EXPERIMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "rtosunit/config.hh"
+#include "simulation.hh"
+#include "workloads/workloads.hh"
+
+namespace rtu {
+
+/** Switching-activity counters feeding the dynamic-power model. */
+struct ActivityCounters
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t instret = 0;
+    std::uint64_t memOps = 0;
+    std::uint64_t unitMemWords = 0;  ///< FSM reads + writes
+    std::uint64_t sortPhases = 0;
+    std::uint64_t unitBusyCycles = 0;
+    std::uint64_t traps = 0;
+};
+
+struct RunResult
+{
+    CoreKind core;
+    RtosUnitConfig unit;
+    std::string workload;
+    bool ok = false;
+    Word exitCode = 0;
+    Cycle cycles = 0;
+    SampleStats switchLatency;   ///< task-switching episodes only
+    SampleStats episodeLatency;  ///< every ISR episode
+    CoreStats coreStats;
+    ActivityCounters activity;
+};
+
+/** Run one workload on one (core, configuration) pair. */
+RunResult runWorkload(CoreKind core, const RtosUnitConfig &unit,
+                      const Workload &workload,
+                      Word timer_period_cycles = 1000);
+
+/** Run the full standard suite; one result per workload. */
+std::vector<RunResult> runSuite(CoreKind core, const RtosUnitConfig &unit,
+                                unsigned iterations,
+                                Word timer_period_cycles = 1000);
+
+/** Merge the switching-latency samples of several runs. */
+SampleStats mergeSwitchLatencies(const std::vector<RunResult> &runs);
+
+} // namespace rtu
+
+#endif // RTU_HARNESS_EXPERIMENT_HH

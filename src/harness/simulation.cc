@@ -1,0 +1,163 @@
+#include "simulation.hh"
+
+#include "common/logging.hh"
+#include "cores/cv32e40p.hh"
+#include "cores/cva6.hh"
+#include "cores/nax.hh"
+#include "sim/memmap.hh"
+
+namespace rtu {
+
+const char *
+coreKindName(CoreKind kind)
+{
+    switch (kind) {
+      case CoreKind::kCv32e40p: return "CV32E40P";
+      case CoreKind::kCva6: return "CVA6";
+      case CoreKind::kNax: return "NaxRiscv";
+    }
+    return "?";
+}
+
+Simulation::Simulation(const SimConfig &config, const Program &program)
+    : config_(config), program_(program),
+      imem_("imem", memmap::kImemBase, memmap::kImemSize),
+      dmem_("dmem", memmap::kDmemBase, memmap::kDmemSize),
+      clint_(irq_), hostio_(irq_, ext_),
+      exec_(state_, mem_, irq_),
+      dmemPort_("dmem-port"), busPort_("bus-port")
+{
+    std::string why;
+    if (!config_.unit.validate(&why))
+        fatal("invalid simulation unit config: %s", why.c_str());
+
+    mem_.addDevice(&imem_);
+    mem_.addDevice(&dmem_);
+    mem_.addDevice(&clint_);
+    mem_.addDevice(&hostio_);
+
+    imem_.loadWords(program.textBase, program.text);
+    dmem_.loadWords(program.dataBase, program.data);
+    taskIdAddr_ = program.symbol("currentTaskId");
+
+    state_.setPc(program.textBase);
+    exec_.setClock(&now_);
+
+    // The core must exist before the unit: on NaxRiscv the unit's
+    // memory port is the LSU ctxQueue inside the core (paper Fig 8).
+    Core::Env env;
+    env.state = &state_;
+    env.exec = &exec_;
+    env.mem = &mem_;
+    env.irq = &irq_;
+    env.dmemPort = &dmemPort_;
+    env.clint = &clint_;
+
+    NaxCore *nax = nullptr;
+    switch (config_.core) {
+      case CoreKind::kCv32e40p:
+        core_ = std::make_unique<Cv32e40pCore>(env);
+        break;
+      case CoreKind::kCva6:
+        core_ = std::make_unique<Cva6Core>(env, busPort_);
+        break;
+      case CoreKind::kNax: {
+        NaxParams np;
+        np.ctxQueueEntries = config_.naxCtxQueueEntries;
+        auto c = std::make_unique<NaxCore>(env, np);
+        nax = c.get();
+        core_ = std::move(c);
+        break;
+      }
+    }
+    core_->setListener(this);
+
+    // Instantiate the hardware unit matching the configuration.
+    if (config_.unit.cv32rt) {
+        // CV32RT uses a dedicated memory port; on NaxRiscv it bypasses
+        // the write-back cache and invalidates the drained lines.
+        unitPort_ = std::make_unique<DedicatedUnitPort>(mem_);
+        UnitCacheHook *hook = nax ? &nax->dcache() : nullptr;
+        cv32rt_ = std::make_unique<Cv32rtUnit>(state_, *unitPort_, hook);
+        exec_.setUnit(cv32rt_.get());
+    } else if (config_.unit.anyHardware()) {
+        // RTOSUnit arbitration point per core (paper Section 5):
+        // CV32E40P at the LSU/DMEM port, CVA6 at the bus, NaxRiscv
+        // inside the LSU via the ctxQueue.
+        UnitMemPort *port = nullptr;
+        switch (config_.core) {
+          case CoreKind::kCv32e40p:
+            unitPort_ = std::make_unique<DirectUnitPort>(dmemPort_, mem_);
+            port = unitPort_.get();
+            break;
+          case CoreKind::kCva6:
+            unitPort_ = std::make_unique<DirectUnitPort>(busPort_, mem_);
+            port = unitPort_.get();
+            break;
+          case CoreKind::kNax:
+            port = &nax->ctxQueuePort();
+            break;
+        }
+        unit_ = std::make_unique<RtosUnit>(config_.unit, state_, *port);
+        exec_.setUnit(unit_.get());
+        if (config_.unit.sched)
+            clint_.enableAutoReset(config_.timerPeriodCycles);
+    }
+}
+
+Simulation::~Simulation() = default;
+
+void
+Simulation::scheduleExtIrq(Cycle at)
+{
+    ext_.schedule(at);
+}
+
+Word
+Simulation::currentGuestTask()
+{
+    return mem_.read32(taskIdAddr_);
+}
+
+void
+Simulation::trapTaken(Word cause, Cycle entry_cycle)
+{
+    recorder_.beginEpisode(cause, irq_.assertCycle(cause), entry_cycle,
+                           currentGuestTask());
+}
+
+void
+Simulation::mretCompleted(Cycle cycle)
+{
+    recorder_.endEpisode(cycle, currentGuestTask());
+}
+
+bool
+Simulation::run()
+{
+    while (now_ < config_.maxCycles && !hostio_.exited()) {
+        clint_.tick(now_);
+        ext_.tick(now_, irq_);
+        hostio_.setCycle(now_);
+        dmemPort_.beginCycle();
+        busPort_.beginCycle();
+        core_->tick(now_);
+        if (unit_)
+            unit_->tick(now_);
+        else if (cv32rt_)
+            cv32rt_->tick(now_);
+        ++now_;
+    }
+    if (!hostio_.exited())
+        warn("simulation hit the %llu-cycle limit without guest exit",
+             static_cast<unsigned long long>(config_.maxCycles));
+    return hostio_.exited();
+}
+
+Word
+Simulation::readSymbolWord(const std::string &symbol)
+{
+    return mem_.read32(program_.symbol(symbol));
+}
+
+} // namespace rtu

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Full-system simulation: one RISC-V core model + RTOSUnit (or CV32RT
+ * baseline, or nothing) + SRAM + CLINT + host I/O, running a generated
+ * kernel image. This is the library's main entry point.
+ */
+
+#ifndef RTU_HARNESS_SIMULATION_HH
+#define RTU_HARNESS_SIMULATION_HH
+
+#include <memory>
+#include <string>
+
+#include "asm/program.hh"
+#include "common/types.hh"
+#include "cores/core.hh"
+#include "cores/executor.hh"
+#include "rtosunit/config.hh"
+#include "rtosunit/cv32rt.hh"
+#include "rtosunit/rtosunit.hh"
+#include "sim/clint.hh"
+#include "sim/hostio.hh"
+#include "sim/irq.hh"
+#include "sim/mem.hh"
+#include "sim/switchrec.hh"
+
+namespace rtu {
+
+/** The three paper cores (Section 3). */
+enum class CoreKind { kCv32e40p, kCva6, kNax };
+
+const char *coreKindName(CoreKind kind);
+
+struct SimConfig
+{
+    CoreKind core = CoreKind::kCv32e40p;
+    RtosUnitConfig unit;
+    Word timerPeriodCycles = 1000;  ///< must match the kernel image
+    std::uint64_t maxCycles = 20'000'000;
+    /** NaxRiscv LSU ctxQueue depth (paper Fig 8; ablation knob). */
+    unsigned naxCtxQueueEntries = 8;
+};
+
+class Simulation : public CoreListener
+{
+  public:
+    Simulation(const SimConfig &config, const Program &program);
+    ~Simulation() override;
+
+    /** Assert the external interrupt line at @p cycle. */
+    void scheduleExtIrq(Cycle at);
+
+    /**
+     * Run to guest exit or the cycle limit.
+     * @return true if the guest exited voluntarily.
+     */
+    bool run();
+
+    Cycle now() const { return now_; }
+    bool exited() const { return hostio_.exited(); }
+    Word exitCode() const { return hostio_.exitCode(); }
+
+    HostIo &hostIo() { return hostio_; }
+    SwitchRecorder &recorder() { return recorder_; }
+    Core &core() { return *core_; }
+    const CoreStats &coreStats() const { return core_->stats(); }
+    RtosUnit *unit() { return unit_.get(); }
+    Cv32rtUnit *cv32rtUnit() { return cv32rt_.get(); }
+    ArchState &archState() { return state_; }
+    MemSystem &mem() { return mem_; }
+
+    /** Read a data word by program symbol (test/verification aid). */
+    Word readSymbolWord(const std::string &symbol);
+
+  private:
+    void trapTaken(Word cause, Cycle entry_cycle) override;
+    void mretCompleted(Cycle cycle) override;
+
+    Word currentGuestTask();
+
+    SimConfig config_;
+    const Program &program_;
+
+    IrqLines irq_;
+    ExtIrqDriver ext_;
+    Sram imem_;
+    Sram dmem_;
+    Clint clint_;
+    HostIo hostio_;
+    MemSystem mem_;
+    ArchState state_;
+    Executor exec_;
+    SharedPort dmemPort_;
+    SharedPort busPort_;
+
+    std::unique_ptr<UnitMemPort> unitPort_;
+    std::unique_ptr<RtosUnit> unit_;
+    std::unique_ptr<Cv32rtUnit> cv32rt_;
+    std::unique_ptr<Core> core_;
+
+    SwitchRecorder recorder_;
+    Cycle now_ = 0;
+    Addr taskIdAddr_ = 0;
+};
+
+} // namespace rtu
+
+#endif // RTU_HARNESS_SIMULATION_HH

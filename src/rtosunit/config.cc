@@ -1,0 +1,136 @@
+#include "config.hh"
+
+#include "common/logging.hh"
+
+namespace rtu {
+
+bool
+RtosUnitConfig::validate(std::string *why) const
+{
+    auto fail = [why](const char *msg) {
+        if (why)
+            *why = msg;
+        return false;
+    };
+    if (cv32rt &&
+        (store || load || sched || dirty || omit || preload || hwsync))
+        return fail("CV32RT is a standalone baseline configuration");
+    if (hwsync && !sched)
+        return fail("hardware semaphores (+HS) require (T) hardware "
+                    "scheduling");
+    if (hwsync && (semSlots == 0 || semSlots > 16))
+        return fail("hardware semaphore count must be in [1, 16]");
+    if (load && !store)
+        return fail("(L) context loading requires (S) context storing");
+    if (omit && !load)
+        return fail("(O) load omission requires (L) context loading");
+    if (dirty && !store)
+        return fail("(D) dirty bits require (S) context storing");
+    if (preload && !(store && load && sched))
+        return fail("(P) preloading requires (S), (L) and (T)");
+    if (preload && dirty)
+        return fail("(P) preloading is incompatible with (D) dirty bits");
+    if (listSlots == 0 || listSlots > 64)
+        return fail("hardware list length must be in [1, 64]");
+    return true;
+}
+
+std::string
+RtosUnitConfig::name() const
+{
+    if (cv32rt)
+        return "CV32RT";
+    if (isVanilla())
+        return "vanilla";
+    std::string n;
+    if (preload) {
+        n = "SPLIT";
+    } else {
+        if (store)
+            n += 'S';
+        if (dirty)
+            n += 'D';
+        if (load)
+            n += 'L';
+        if (omit)
+            n += 'O';
+        if (sched)
+            n += 'T';
+    }
+    if (hwsync)
+        n += "+HS";
+    return n;
+}
+
+RtosUnitConfig
+RtosUnitConfig::fromName(const std::string &name_in)
+{
+    RtosUnitConfig c;
+    std::string name = name_in;
+    bool hwsync = false;
+    if (name.size() > 3 && name.substr(name.size() - 3) == "+HS") {
+        hwsync = true;
+        name = name.substr(0, name.size() - 3);
+    }
+    if (name == "vanilla" || name.empty()) {
+        if (hwsync)
+            fatal("+HS requires a (T) configuration");
+        return c;
+    }
+    if (name == "CV32RT" || name == "cv32rt") {
+        c.cv32rt = true;
+        return c;
+    }
+    if (name == "SPLIT" || name == "split") {
+        c.store = c.preload = c.load = c.omit = c.sched = true;
+        c.hwsync = hwsync;
+        std::string why;
+        if (!c.validate(&why))
+            fatal("invalid RTOSUnit configuration '%s': %s",
+                  name_in.c_str(), why.c_str());
+        return c;
+    }
+    c.hwsync = hwsync;
+    for (char ch : name) {
+        switch (ch) {
+          case 'S': case 's': c.store = true; break;
+          case 'L': case 'l': c.load = true; break;
+          case 'T': case 't': c.sched = true; break;
+          case 'D': case 'd': c.dirty = true; break;
+          case 'O': case 'o': c.omit = true; break;
+          case 'P': case 'p': c.preload = true; break;
+          default:
+            fatal("unknown RTOSUnit feature letter '%c' in '%s'", ch,
+                  name.c_str());
+        }
+    }
+    std::string why;
+    if (!c.validate(&why))
+        fatal("invalid RTOSUnit configuration '%s': %s",
+              name_in.c_str(), why.c_str());
+    return c;
+}
+
+std::vector<RtosUnitConfig>
+RtosUnitConfig::paperConfigs()
+{
+    std::vector<RtosUnitConfig> out;
+    for (const char *n : {"vanilla", "CV32RT", "S", "SD", "SL", "SDLO",
+                          "T", "ST", "SDT", "SLT", "SDLOT", "SPLIT"}) {
+        out.push_back(fromName(n));
+    }
+    return out;
+}
+
+std::vector<RtosUnitConfig>
+RtosUnitConfig::latencyConfigs()
+{
+    std::vector<RtosUnitConfig> out;
+    for (const char *n : {"vanilla", "CV32RT", "S", "SL", "T", "ST",
+                          "SLT", "SDLO", "SDLOT", "SPLIT"}) {
+        out.push_back(fromName(n));
+    }
+    return out;
+}
+
+} // namespace rtu

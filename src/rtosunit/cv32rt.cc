@@ -1,0 +1,96 @@
+#include "cv32rt.hh"
+
+#include "common/logging.hh"
+
+namespace rtu {
+
+void
+Cv32rtUnit::onTrapEntry(Word cause)
+{
+    (void)cause;
+    rtu_assert(!drainBusy(), "interrupt re-entered while the CV32RT "
+               "drain is still in flight");
+    // Single-cycle parallel snapshot of the upper register-file half.
+    for (unsigned i = 0; i < kSnapWords; ++i) {
+        snapshot_[i] = state_.bankReg(
+            ArchState::kAppBank,
+            static_cast<RegIndex>(kFirstSnapReg + i));
+    }
+    // The kernel's ISR allocates its frame immediately below the
+    // interrupted stack pointer; the hardware half starts at a fixed
+    // offset inside it.
+    const Word sp = state_.bankReg(ArchState::kAppBank, 2);
+    drainBase_ = sp - kFrameBytes + kHwSlotOffset;
+    drainIdx_ = 0;
+    ++stats_.snapshots;
+}
+
+void
+Cv32rtUnit::tick(Cycle now)
+{
+    (void)now;
+    if (drainBusy() && port_.canAccept()) {
+        port_.pushWrite(drainBase_ + 4 * drainIdx_, snapshot_[drainIdx_]);
+        ++stats_.drainedWords;
+        ++drainIdx_;
+        if (!drainBusy() && cache_) {
+            // The dedicated port bypassed the write-back cache; the
+            // lines covering the drained words must be invalidated.
+            cache_->invalidateRange(drainBase_, kSnapWords * 4);
+        }
+    }
+    port_.tick();
+}
+
+bool
+Cv32rtUnit::switchRfStall() const
+{
+    const bool stall = drainBusy() || !port_.idle();
+    if (stall)
+        ++stats_.barrierStallCycles;
+    return stall;
+}
+
+void
+Cv32rtUnit::setContextId(Word)
+{
+    panic("SET_CONTEXT_ID is not part of the CV32RT baseline");
+}
+
+Word
+Cv32rtUnit::getHwSched()
+{
+    panic("GET_HW_SCHED is not part of the CV32RT baseline");
+}
+
+void
+Cv32rtUnit::addReady(Word, Word)
+{
+    panic("ADD_READY is not part of the CV32RT baseline");
+}
+
+void
+Cv32rtUnit::addDelay(Word, Word)
+{
+    panic("ADD_DELAY is not part of the CV32RT baseline");
+}
+
+void
+Cv32rtUnit::rmTask(Word)
+{
+    panic("RM_TASK is not part of the CV32RT baseline");
+}
+
+Word
+Cv32rtUnit::semTake(Word)
+{
+    panic("SEM_TAKE is not part of the CV32RT baseline");
+}
+
+Word
+Cv32rtUnit::semGive(Word)
+{
+    panic("SEM_GIVE is not part of the CV32RT baseline");
+}
+
+} // namespace rtu

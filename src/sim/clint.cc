@@ -1,0 +1,70 @@
+#include "clint.hh"
+
+#include "common/logging.hh"
+
+namespace rtu {
+
+Word
+Clint::read(Addr addr, MemSize size)
+{
+    rtu_assert(size == MemSize::kWord, "CLINT requires word access");
+    switch (addr) {
+      case memmap::kClintMsip:
+        return msip_;
+      case memmap::kClintMtimecmp:
+        return static_cast<Word>(mtimecmp_);
+      case memmap::kClintMtimecmpHi:
+        return static_cast<Word>(mtimecmp_ >> 32);
+      case memmap::kClintMtime:
+        return static_cast<Word>(mtime_);
+      case memmap::kClintMtimeHi:
+        return static_cast<Word>(mtime_ >> 32);
+      default:
+        panic("CLINT read at unsupported offset 0x%08x", addr);
+    }
+}
+
+void
+Clint::write(Addr addr, Word value, MemSize size)
+{
+    rtu_assert(size == MemSize::kWord, "CLINT requires word access");
+    switch (addr) {
+      case memmap::kClintMsip:
+        msip_ = value & 1;
+        break;
+      case memmap::kClintMtimecmp:
+        mtimecmp_ = (mtimecmp_ & 0xFFFF'FFFF'0000'0000ULL) | value;
+        break;
+      case memmap::kClintMtimecmpHi:
+        mtimecmp_ = (mtimecmp_ & 0xFFFF'FFFFULL) |
+                    (static_cast<DWord>(value) << 32);
+        break;
+      default:
+        panic("CLINT write at unsupported offset 0x%08x", addr);
+    }
+    updateLevels(now_);
+}
+
+void
+Clint::tick(Cycle now)
+{
+    now_ = now;
+    ++mtime_;
+    updateLevels(now);
+}
+
+void
+Clint::updateLevels(Cycle now)
+{
+    if (mtime_ >= mtimecmp_)
+        lines_.raise(irq::kMti, now);
+    else
+        lines_.clear(irq::kMti);
+
+    if (msip_)
+        lines_.raise(irq::kMsi, now);
+    else
+        lines_.clear(irq::kMsi);
+}
+
+} // namespace rtu

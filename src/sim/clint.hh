@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Core-local interruptor: mtime, mtimecmp, msip — plus the paper's
+ * RTOSUnit extension: auto-resetting the timer on taken timer
+ * interrupts so the ISR needs no counter read / compare update
+ * (Section 4.4).
+ */
+
+#ifndef RTU_SIM_CLINT_HH
+#define RTU_SIM_CLINT_HH
+
+#include "common/types.hh"
+#include "irq.hh"
+#include "mem.hh"
+#include "memmap.hh"
+
+namespace rtu {
+
+class Clint : public MemDevice
+{
+  public:
+    explicit Clint(IrqLines &lines)
+        : MemDevice("clint", memmap::kClintBase, memmap::kClintSize),
+          lines_(lines)
+    {}
+
+    Word read(Addr addr, MemSize size) override;
+    void write(Addr addr, Word value, MemSize size) override;
+
+    /** Advance mtime by one cycle and update MTIP/MSIP levels. */
+    void tick(Cycle now);
+
+    /**
+     * Enable hardware auto-reset (RTOSUnit (T) feature): when the core
+     * reports a taken timer interrupt, mtimecmp advances by @p period.
+     */
+    void
+    enableAutoReset(DWord period)
+    {
+        autoReset_ = true;
+        period_ = period;
+    }
+
+    /** Core notification: a timer interrupt was taken. */
+    void
+    timerTaken()
+    {
+        if (autoReset_) {
+            // Advance from the programmed deadline, not from "now", so
+            // the tick train keeps its exact cadence.
+            mtimecmp_ += period_;
+        }
+    }
+
+    DWord mtime() const { return mtime_; }
+    DWord mtimecmp() const { return mtimecmp_; }
+
+  private:
+    void updateLevels(Cycle now);
+
+    IrqLines &lines_;
+    DWord mtime_ = 0;
+    DWord mtimecmp_ = ~DWord{0};
+    Word msip_ = 0;
+    bool autoReset_ = false;
+    DWord period_ = 0;
+    Cycle now_ = 0;
+};
+
+} // namespace rtu
+
+#endif // RTU_SIM_CLINT_HH

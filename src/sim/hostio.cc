@@ -1,0 +1,64 @@
+#include "hostio.hh"
+
+#include "common/logging.hh"
+
+namespace rtu {
+
+Word
+HostIo::read(Addr addr, MemSize size)
+{
+    rtu_assert(size == MemSize::kWord, "host I/O requires word access");
+    switch (addr) {
+      case memmap::kHostCycleLo:
+        return static_cast<Word>(now_);
+      case memmap::kHostCycleHi:
+        return static_cast<Word>(now_ >> 32);
+      case memmap::kHostRand:
+        // xorshift32: deterministic across runs, data-dependent enough
+        // to vary workload compute phases.
+        rng_ ^= rng_ << 13;
+        rng_ ^= rng_ >> 17;
+        rng_ ^= rng_ << 5;
+        return rng_;
+      default:
+        panic("host I/O read at unsupported offset 0x%08x", addr);
+    }
+}
+
+void
+HostIo::write(Addr addr, Word value, MemSize size)
+{
+    rtu_assert(size == MemSize::kWord || addr == memmap::kHostPutchar,
+               "host I/O requires word access");
+    switch (addr) {
+      case memmap::kHostPutchar:
+        console_.push_back(static_cast<char>(value & 0xFF));
+        break;
+      case memmap::kHostExit:
+        exited_ = true;
+        exitCode_ = value;
+        break;
+      case memmap::kHostTrace:
+        events_.push_back({now_, static_cast<std::uint8_t>(value >> 24),
+                           value & 0x00FF'FFFF});
+        break;
+      case memmap::kHostExtAck:
+        ext_.ack(lines_);
+        break;
+      default:
+        panic("host I/O write at unsupported offset 0x%08x", addr);
+    }
+}
+
+std::vector<GuestEvent>
+HostIo::eventsWithTag(std::uint8_t t) const
+{
+    std::vector<GuestEvent> out;
+    for (const GuestEvent &e : events_) {
+        if (e.tag == t)
+            out.push_back(e);
+    }
+    return out;
+}
+
+} // namespace rtu

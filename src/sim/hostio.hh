@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Host-I/O testbench device: console, exit, trace events, cycle
+ * counter, external-interrupt acknowledge and a deterministic PRNG.
+ */
+
+#ifndef RTU_SIM_HOSTIO_HH
+#define RTU_SIM_HOSTIO_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "irq.hh"
+#include "mem.hh"
+#include "memmap.hh"
+
+namespace rtu {
+
+/** One guest-emitted trace event (tag in the high byte). */
+struct GuestEvent
+{
+    Cycle cycle;
+    std::uint8_t tag;
+    Word value;  ///< low 24 bits of the written word
+};
+
+class HostIo : public MemDevice
+{
+  public:
+    HostIo(IrqLines &lines, ExtIrqDriver &ext)
+        : MemDevice("hostio", memmap::kHostBase, memmap::kHostSize),
+          lines_(lines), ext_(ext)
+    {}
+
+    Word read(Addr addr, MemSize size) override;
+    void write(Addr addr, Word value, MemSize size) override;
+
+    void setCycle(Cycle now) { now_ = now; }
+
+    bool exited() const { return exited_; }
+    Word exitCode() const { return exitCode_; }
+    const std::string &consoleOutput() const { return console_; }
+    const std::vector<GuestEvent> &events() const { return events_; }
+
+    /** Events with a specific tag, in emission order. */
+    std::vector<GuestEvent> eventsWithTag(std::uint8_t tag) const;
+
+  private:
+    IrqLines &lines_;
+    ExtIrqDriver &ext_;
+    Cycle now_ = 0;
+    bool exited_ = false;
+    Word exitCode_ = 0;
+    std::string console_;
+    std::vector<GuestEvent> events_;
+    Word rng_ = 0x2545'F491;
+};
+
+/** Guest trace tags used by the kernel and workloads. */
+namespace tag {
+constexpr std::uint8_t kTaskRun = 1;     ///< value = task id now running
+constexpr std::uint8_t kWorkItem = 2;    ///< value = workload progress
+constexpr std::uint8_t kMutexAcq = 3;    ///< value = task id
+constexpr std::uint8_t kMutexRel = 4;    ///< value = task id
+constexpr std::uint8_t kIsrEnter = 5;    ///< value = mcause low bits
+constexpr std::uint8_t kSwitch = 6;      ///< value = (from<<8)|to
+constexpr std::uint8_t kSemGive = 7;
+constexpr std::uint8_t kSemTake = 8;
+constexpr std::uint8_t kCheck = 9;       ///< value = checksum fragment
+} // namespace tag
+
+} // namespace rtu
+
+#endif // RTU_SIM_HOSTIO_HH

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Interrupt lines into the core and the external-interrupt stimulus
+ * generator used by the workloads.
+ */
+
+#ifndef RTU_SIM_IRQ_HH
+#define RTU_SIM_IRQ_HH
+
+#include <vector>
+
+#include "asm/insn.hh"
+#include "common/types.hh"
+
+namespace rtu {
+
+/**
+ * Level-sensitive machine interrupt lines (mip image). Devices set and
+ * clear their bit; the core samples pending() each cycle. For latency
+ * accounting, assertion cycles are timestamped per source.
+ */
+class IrqLines
+{
+  public:
+    void
+    raise(Word bit, Cycle now)
+    {
+        if (!(pending_ & bit)) {
+            pending_ |= bit;
+            if (bit == irq::kMsi)
+                msiAssert_ = now;
+            else if (bit == irq::kMti)
+                mtiAssert_ = now;
+            else if (bit == irq::kMei)
+                meiAssert_ = now;
+        }
+    }
+
+    void clear(Word bit) { pending_ &= ~bit; }
+
+    Word pending() const { return pending_; }
+
+    /** Cycle at which the given source was last asserted. */
+    Cycle
+    assertCycle(Word cause) const
+    {
+        switch (cause) {
+          case mcause::kMachineSoftware: return msiAssert_;
+          case mcause::kMachineTimer: return mtiAssert_;
+          case mcause::kMachineExternal: return meiAssert_;
+          default: return 0;
+        }
+    }
+
+  private:
+    Word pending_ = 0;
+    Cycle msiAssert_ = 0;
+    Cycle mtiAssert_ = 0;
+    Cycle meiAssert_ = 0;
+};
+
+/**
+ * Drives the external interrupt (MEIP) at scheduled cycles; the guest
+ * acknowledges via the host-I/O ext-ack register.
+ */
+class ExtIrqDriver
+{
+  public:
+    void
+    schedule(Cycle at)
+    {
+        events_.push_back(at);
+    }
+
+    void
+    tick(Cycle now, IrqLines &lines)
+    {
+        for (Cycle at : events_) {
+            if (at == now)
+                lines.raise(irq::kMei, now);
+        }
+    }
+
+    void ack(IrqLines &lines) { lines.clear(irq::kMei); }
+
+  private:
+    std::vector<Cycle> events_;
+};
+
+} // namespace rtu
+
+#endif // RTU_SIM_IRQ_HH

@@ -1,0 +1,81 @@
+#include "mem.hh"
+
+#include "common/bitutil.hh"
+
+namespace rtu {
+
+Sram::Sram(std::string name, Addr base, Addr size)
+    : MemDevice(std::move(name), base, size), bytes_(size, 0)
+{
+}
+
+Word
+Sram::read(Addr addr, MemSize size)
+{
+    const Addr off = addr - base();
+    rtu_assert(off + static_cast<Addr>(size) <= bytes_.size(),
+               "%s read at 0x%08x out of range", name().c_str(), addr);
+    Word v = 0;
+    for (unsigned i = 0; i < static_cast<unsigned>(size); ++i)
+        v |= static_cast<Word>(bytes_[off + i]) << (8 * i);
+    return v;
+}
+
+void
+Sram::write(Addr addr, Word value, MemSize size)
+{
+    const Addr off = addr - base();
+    rtu_assert(off + static_cast<Addr>(size) <= bytes_.size(),
+               "%s write at 0x%08x out of range", name().c_str(), addr);
+    for (unsigned i = 0; i < static_cast<unsigned>(size); ++i)
+        bytes_[off + i] = static_cast<std::uint8_t>(value >> (8 * i));
+}
+
+void
+Sram::loadWords(Addr addr, const std::vector<Word> &words)
+{
+    for (size_t i = 0; i < words.size(); ++i)
+        write(addr + 4 * static_cast<Addr>(i), words[i], MemSize::kWord);
+}
+
+void
+MemSystem::addDevice(MemDevice *dev)
+{
+    for (const MemDevice *d : devices_) {
+        const bool overlap = dev->base() < d->base() + d->size() &&
+                             d->base() < dev->base() + dev->size();
+        rtu_assert(!overlap, "device '%s' overlaps '%s'",
+                   dev->name().c_str(), d->name().c_str());
+    }
+    devices_.push_back(dev);
+}
+
+MemDevice *
+MemSystem::deviceAt(Addr addr)
+{
+    for (MemDevice *d : devices_) {
+        if (d->contains(addr))
+            return d;
+    }
+    return nullptr;
+}
+
+Word
+MemSystem::read(Addr addr, MemSize size)
+{
+    MemDevice *d = deviceAt(addr);
+    if (!d)
+        panic("read from unmapped address 0x%08x", addr);
+    return d->read(addr, size);
+}
+
+void
+MemSystem::write(Addr addr, Word value, MemSize size)
+{
+    MemDevice *d = deviceAt(addr);
+    if (!d)
+        panic("write to unmapped address 0x%08x", addr);
+    d->write(addr, value, size);
+}
+
+} // namespace rtu

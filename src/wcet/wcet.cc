@@ -1,0 +1,204 @@
+#include "wcet.hh"
+
+#include "asm/decode.hh"
+#include "common/logging.hh"
+#include "rtosunit/rtosunit.hh"
+
+namespace rtu {
+
+namespace {
+
+/** Worst-case stall of GET_HW_SCHED: a timer decrement re-sort, a
+ *  full list of expiring transfers, and the ready-list re-sort. */
+unsigned
+worstGetHwSchedStall(unsigned list_slots)
+{
+    return 3 * list_slots;
+}
+
+/** Worst-case SWITCH_RF stall: the full store drain. */
+constexpr unsigned kWorstSwitchRfStall = kCtxWords;
+
+constexpr unsigned kMaxDepth = 64;
+
+} // namespace
+
+WcetAnalyzer::WcetAnalyzer(const Program &program,
+                           const RtosUnitConfig &unit,
+                           const Cv32e40pParams &params)
+    : program_(program), unit_(unit), params_(params)
+{
+}
+
+DecodedInsn
+WcetAnalyzer::insnAt(Addr pc) const
+{
+    rtu_assert(pc >= program_.textBase && pc < program_.textEnd(),
+               "WCET walk left the text section at 0x%08x", pc);
+    return decode(program_.text[(pc - program_.textBase) / 4]);
+}
+
+WcetAnalyzer::PathCost
+WcetAnalyzer::costOf(const DecodedInsn &insn) const
+{
+    PathCost c;
+    c.insns = 1;
+    switch (classOf(insn.op)) {
+      case InsnClass::kJump:
+        c.cycles = params_.jumpCycles;
+        break;
+      case InsnClass::kBranch:
+        c.cycles = params_.takenBranchCycles;  // pessimistic
+        break;
+      case InsnClass::kDiv:
+        c.cycles = params_.divBaseCycles + 32;
+        break;
+      case InsnClass::kLoad:
+        // Pessimistic load-use assumption.
+        c.cycles = 1 + params_.loadUseStall;
+        c.memOps = 1;
+        break;
+      case InsnClass::kStore:
+        c.cycles = 1;
+        c.memOps = 1;
+        break;
+      case InsnClass::kSystem:
+        c.cycles = insn.op == Op::kMret ? params_.mretCycles : 1;
+        break;
+      case InsnClass::kCustom:
+        c.cycles = 1;
+        if (insn.op == Op::kGetHwSched)
+            c.cycles += worstGetHwSchedStall(unit_.listSlots);
+        else if (insn.op == Op::kSwitchRf && unit_.store)
+            c.cycles += kWorstSwitchRfStall;
+        break;
+      default:
+        c.cycles = 1;
+        break;
+    }
+    return c;
+}
+
+WcetAnalyzer::PathCost
+WcetAnalyzer::worstFrom(Addr pc, std::map<Addr, unsigned> budgets,
+                        unsigned depth)
+{
+    rtu_assert(depth < kMaxDepth, "WCET recursion too deep at 0x%08x",
+               pc);
+    PathCost total;
+    while (true) {
+        const DecodedInsn insn = insnAt(pc);
+        const PathCost step = costOf(insn);
+
+        if (insn.op == Op::kMret) {
+            total = total.plus(step);
+            return total;
+        }
+        if (insn.op == Op::kJalr && insn.rd == Zero && insn.rs1 == RA) {
+            // Function return.
+            total = total.plus(step);
+            return total;
+        }
+        if (insn.op == Op::kJal) {
+            const Addr target = pc + static_cast<Word>(insn.imm);
+            if (insn.rd == RA) {
+                // Call: add the callee's worst path, continue after.
+                total = total.plus(step);
+                auto cached = functionCache_.find(target);
+                PathCost callee;
+                if (cached != functionCache_.end()) {
+                    callee = cached->second;
+                } else {
+                    callee = worstFrom(target, {}, depth + 1);
+                    functionCache_[target] = callee;
+                }
+                total = total.plus(callee);
+                pc += 4;
+                continue;
+            }
+            // Plain jump; bounded back edges consume loop budget.
+            auto bound = program_.loopBounds.find(pc);
+            if (bound != program_.loopBounds.end()) {
+                // The annotation bounds how often this back edge may
+                // execute (see Assembler::loopBound).
+                auto [it, inserted] =
+                    budgets.emplace(pc, bound->second);
+                (void)inserted;
+                if (it->second == 0) {
+                    // Budget exhausted: this continuation is
+                    // infeasible; the bounded-exit path (explored at
+                    // the loop's conditional branch) dominates.
+                    return total;
+                }
+                --it->second;
+                total = total.plus(step);
+                pc = target;
+                continue;
+            }
+            if (target <= pc) {
+                // Unannotated backward jumps only occur on terminal
+                // error paths (k_fatal_sync's self-loop); they end
+                // the walk rather than bounding the WCET.
+                return total;
+            }
+            total = total.plus(step);
+            pc = target;
+            continue;
+        }
+        if (classOf(insn.op) == InsnClass::kBranch) {
+            // Explore both successors; keep the worst.
+            total = total.plus(step);
+            const Addr taken = pc + static_cast<Word>(insn.imm);
+            rtu_assert(taken > pc || program_.loopBounds.count(pc),
+                       "unannotated backward branch at 0x%08x", pc);
+            PathCost t = worstFrom(taken, budgets, depth + 1);
+            PathCost f = worstFrom(pc + 4, budgets, depth + 1);
+            t.takeMax(f);
+            return total.plus(t);
+        }
+        if (insn.op == Op::kJalr) {
+            // Indirect jumps other than returns do not appear in
+            // generated kernel code.
+            panic("indirect jump in WCET path at 0x%08x", pc);
+        }
+        if (insn.op == Op::kWfi)
+            return total;  // the idle task is never an ISR path
+
+        total = total.plus(step);
+        pc += 4;
+    }
+}
+
+std::uint64_t
+WcetAnalyzer::analyzeFunction(const std::string &symbol)
+{
+    return worstFrom(program_.symbol(symbol), {}, 0).cycles;
+}
+
+WcetResult
+WcetAnalyzer::analyzeIsr()
+{
+    const PathCost sw = worstFrom(program_.symbol("k_isr"), {}, 0);
+
+    WcetResult res;
+    res.pathInsns = sw.insns;
+    res.pathMemOps = sw.memOps;
+    res.softwareCycles = params_.trapEntryCycles + sw.cycles;
+
+    // Decoupled hardware path: the FSMs transfer up to 31 + 31 words
+    // on the shared port, stalled once per core memory access, and
+    // mret cannot complete earlier (paper Section 6.2).
+    std::uint64_t fsm_words = 0;
+    if (unit_.store)
+        fsm_words += kCtxWords;
+    if (unit_.load || unit_.preload)
+        fsm_words += kCtxWords;
+    if (fsm_words > 0) {
+        res.hardwareCycles = params_.trapEntryCycles + fsm_words +
+                             sw.memOps + params_.mretCycles;
+    }
+    res.totalCycles = std::max(res.softwareCycles, res.hardwareCycles);
+    return res;
+}
+
+} // namespace rtu

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Static worst-case execution time analysis of the generated ISR
+ * (paper Section 6.2, CV32E40P only).
+ *
+ * Method, mechanized from the paper's description: walk the ISR's
+ * control flow assuming the maximum latency of every instruction
+ * (taken branches, worst-case iterative divides, load-use stalls),
+ * bound every loop with the kernel generator's annotations (8 delayed
+ * tasks, 8-entry lists), and account for RTOSUnit FSM latency and the
+ * memory-port stalls core accesses inflict on it. The reported WCET
+ * is the maximum of the software path and the decoupled hardware
+ * path, as in the paper.
+ */
+
+#ifndef RTU_WCET_WCET_HH
+#define RTU_WCET_WCET_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "asm/program.hh"
+#include "cores/cv32e40p.hh"
+#include "rtosunit/config.hh"
+
+namespace rtu {
+
+struct WcetResult
+{
+    std::uint64_t totalCycles = 0;     ///< the reported WCET
+    std::uint64_t softwareCycles = 0;  ///< worst ISR instruction path
+    std::uint64_t hardwareCycles = 0;  ///< worst FSM path incl. stalls
+    std::uint64_t pathInsns = 0;       ///< instructions on that path
+    std::uint64_t pathMemOps = 0;      ///< loads/stores on that path
+};
+
+class WcetAnalyzer
+{
+  public:
+    WcetAnalyzer(const Program &program, const RtosUnitConfig &unit,
+                 const Cv32e40pParams &params = {});
+
+    /** Analyze from interrupt entry ("k_isr") to mret completion. */
+    WcetResult analyzeIsr();
+
+    /** Worst-case cycles of one function (until its return). */
+    std::uint64_t analyzeFunction(const std::string &symbol);
+
+  private:
+    struct PathCost
+    {
+        std::uint64_t cycles = 0;
+        std::uint64_t insns = 0;
+        std::uint64_t memOps = 0;
+
+        void
+        takeMax(const PathCost &other)
+        {
+            if (other.cycles > cycles)
+                *this = other;
+        }
+
+        PathCost
+        plus(const PathCost &other) const
+        {
+            return {cycles + other.cycles, insns + other.insns,
+                    memOps + other.memOps};
+        }
+    };
+
+    /** Worst path from @p pc to a terminator (mret or ret). */
+    PathCost worstFrom(Addr pc, std::map<Addr, unsigned> budgets,
+                       unsigned depth);
+
+    PathCost costOf(const DecodedInsn &insn) const;
+    DecodedInsn insnAt(Addr pc) const;
+
+    const Program &program_;
+    RtosUnitConfig unit_;
+    Cv32e40pParams params_;
+    std::map<Addr, PathCost> functionCache_;
+};
+
+} // namespace rtu
+
+#endif // RTU_WCET_WCET_HH

@@ -1,0 +1,323 @@
+#include "workloads.hh"
+
+#include "common/logging.hh"
+#include "sim/hostio.hh"
+
+namespace rtu {
+
+namespace {
+
+using kernel::kMaxTasks;
+
+/**
+ * Count one finished task in "w_done"; the task observing the final
+ * count stops the simulation with exit code 0, the others park
+ * themselves on a quasi-infinite delay.
+ */
+void
+emitFinish(KernelBuilder &kb, unsigned total, const std::string &unique)
+{
+    Assembler &a = kb.a();
+    a.csrrci(Zero, csr::kMstatus, 8);
+    a.la(T0, "w_done");
+    a.lw(T1, 0, T0);
+    a.addi(T1, T1, 1);
+    a.sw(T1, 0, T0);
+    a.csrrsi(Zero, csr::kMstatus, 8);
+    a.li(T2, static_cast<SWord>(total));
+    const std::string park = "w_park_" + unique;
+    a.bne(T1, T2, park);
+    kb.emitExit(0);
+    a.label(park);
+    const std::string loop = "w_parkloop_" + unique;
+    a.label(loop);
+    a.li(A0, 1'000'000);
+    a.call("k_delay");
+    a.j(loop);
+}
+
+class LambdaWorkload : public Workload
+{
+  public:
+    LambdaWorkload(WorkloadInfo info,
+                   std::function<void(KernelBuilder &)> add)
+        : info_(std::move(info)), add_(std::move(add))
+    {}
+
+    WorkloadInfo info() const override { return info_; }
+    void addTasks(KernelBuilder &kb) const override { add_(kb); }
+
+  private:
+    WorkloadInfo info_;
+    std::function<void(KernelBuilder &)> add_;
+};
+
+} // namespace
+
+std::unique_ptr<Workload>
+makeYieldPingPong(unsigned iterations)
+{
+    WorkloadInfo info;
+    info.name = "yield_pingpong";
+    return std::make_unique<LambdaWorkload>(info, [=](KernelBuilder &kb) {
+        kb.a().dataWord("w_done", 0);
+        for (unsigned t = 0; t < 2; ++t) {
+            TaskSpec spec;
+            spec.name = csprintf("ping%u", t);
+            spec.priority = 2;
+            spec.body = [=](KernelBuilder &k) {
+                Assembler &a = k.a();
+                const std::string loop = csprintf("w_yl_%u", t);
+                a.li(S0, static_cast<SWord>(iterations));
+                a.label(loop);
+                k.emitTrace(tag::kWorkItem, 0x100 * (t + 1));
+                k.callYield();
+                a.addi(S0, S0, -1);
+                a.bnez(S0, loop);
+                emitFinish(k, 2, csprintf("y%u", t));
+            };
+            kb.addTask(spec);
+        }
+    });
+}
+
+std::unique_ptr<Workload>
+makeRoundRobin(unsigned iterations)
+{
+    WorkloadInfo info;
+    info.name = "round_robin";
+    return std::make_unique<LambdaWorkload>(info, [=](KernelBuilder &kb) {
+        kb.a().dataWord("w_done", 0);
+        for (unsigned t = 0; t < 4; ++t) {
+            TaskSpec spec;
+            spec.name = csprintf("rr%u", t);
+            spec.priority = 2;
+            spec.body = [=](KernelBuilder &k) {
+                Assembler &a = k.a();
+                const std::string loop = csprintf("w_rrl_%u", t);
+                a.li(S0, static_cast<SWord>(iterations));
+                a.label(loop);
+                k.emitBusyLoop(120 + 15 * t);
+                k.emitBusyDivLoop(3);
+                k.emitTrace(tag::kWorkItem, t);
+                a.addi(S0, S0, -1);
+                a.bnez(S0, loop);
+                emitFinish(k, 4, csprintf("r%u", t));
+            };
+            kb.addTask(spec);
+        }
+    });
+}
+
+std::unique_ptr<Workload>
+makeMutexWorkload(unsigned iterations)
+{
+    WorkloadInfo info;
+    info.name = "mutex_workload";
+    return std::make_unique<LambdaWorkload>(info, [=](KernelBuilder &kb) {
+        kb.a().dataWord("w_done", 0);
+        kb.createMutex("w_mtx");
+        // Two medium-priority workers plus one high-priority worker
+        // that sleeps between acquisitions (avoids starving the
+        // others while still exercising priority handover).
+        for (unsigned t = 0; t < 3; ++t) {
+            TaskSpec spec;
+            spec.name = csprintf("mtx%u", t);
+            spec.priority = t == 2 ? 3 : 2;
+            spec.body = [=](KernelBuilder &k) {
+                Assembler &a = k.a();
+                const std::string loop = csprintf("w_mxl_%u", t);
+                a.li(S0, static_cast<SWord>(iterations));
+                a.label(loop);
+                k.callMutexTake("w_mtx");
+                k.emitTrace(tag::kMutexAcq, t);
+                k.emitBusyLoop(60);
+                k.emitTrace(tag::kMutexRel, t);
+                k.callMutexGive("w_mtx");
+                if (t == 2)
+                    k.callDelay(2);
+                else
+                    k.emitBusyLoop(40);
+                a.addi(S0, S0, -1);
+                a.bnez(S0, loop);
+                emitFinish(k, 3, csprintf("m%u", t));
+            };
+            kb.addTask(spec);
+        }
+    });
+}
+
+std::unique_ptr<Workload>
+makeDelayWake(unsigned iterations)
+{
+    WorkloadInfo info;
+    info.name = "delay_wake";
+    return std::make_unique<LambdaWorkload>(info, [=](KernelBuilder &kb) {
+        kb.a().dataWord("w_done", 0);
+        for (unsigned t = 0; t < 6; ++t) {
+            TaskSpec spec;
+            spec.name = csprintf("dly%u", t);
+            spec.priority = static_cast<Priority>(1 + (t % 3));
+            spec.body = [=](KernelBuilder &k) {
+                Assembler &a = k.a();
+                const std::string loop = csprintf("w_dwl_%u", t);
+                a.li(S0, static_cast<SWord>(iterations));
+                a.label(loop);
+                k.callDelay(1 + (t % 4));
+                k.emitTrace(tag::kWorkItem, t);
+                k.emitBusyLoop(25);
+                a.addi(S0, S0, -1);
+                a.bnez(S0, loop);
+                emitFinish(k, 6, csprintf("d%u", t));
+            };
+            kb.addTask(spec);
+        }
+    });
+}
+
+std::unique_ptr<Workload>
+makeSemPingPong(unsigned iterations)
+{
+    WorkloadInfo info;
+    info.name = "sem_pingpong";
+    return std::make_unique<LambdaWorkload>(info, [=](KernelBuilder &kb) {
+        kb.createSemaphore("w_sem", 0);
+        TaskSpec producer;
+        producer.name = "producer";
+        producer.priority = 2;
+        producer.body = [=](KernelBuilder &k) {
+            Assembler &a = k.a();
+            a.label("w_spp_prod");
+            k.callDelay(1);
+            k.emitTrace(tag::kSemGive, 0);
+            k.callSemGive("w_sem");
+            a.j("w_spp_prod");
+        };
+        kb.addTask(producer);
+
+        TaskSpec consumer;
+        consumer.name = "consumer";
+        consumer.priority = 3;
+        consumer.body = [=](KernelBuilder &k) {
+            Assembler &a = k.a();
+            a.li(S0, static_cast<SWord>(iterations));
+            a.label("w_spp_cons");
+            k.callSemTake("w_sem");
+            k.emitTrace(tag::kSemTake, 0);
+            a.addi(S0, S0, -1);
+            a.bnez(S0, "w_spp_cons");
+            k.emitExit(0);
+        };
+        kb.addTask(consumer);
+    });
+}
+
+std::unique_ptr<Workload>
+makePriorityPreempt(unsigned iterations)
+{
+    WorkloadInfo info;
+    info.name = "priority_preempt";
+    return std::make_unique<LambdaWorkload>(info, [=](KernelBuilder &kb) {
+        TaskSpec low;
+        low.name = "background";
+        low.priority = 1;
+        low.body = [](KernelBuilder &k) {
+            Assembler &a = k.a();
+            a.label("w_pp_bg");
+            k.emitBusyLoop(90);
+            k.emitBusyDivLoop(4);
+            a.j("w_pp_bg");
+        };
+        kb.addTask(low);
+
+        TaskSpec high;
+        high.name = "control";
+        high.priority = 4;
+        high.body = [=](KernelBuilder &k) {
+            Assembler &a = k.a();
+            a.li(S0, static_cast<SWord>(iterations));
+            a.label("w_pp_hi");
+            k.callDelay(2);
+            k.emitTrace(tag::kWorkItem, 0xC0);
+            k.emitBusyLoop(30);
+            a.addi(S0, S0, -1);
+            a.bnez(S0, "w_pp_hi");
+            k.emitExit(0);
+        };
+        kb.addTask(high);
+    });
+}
+
+std::unique_ptr<Workload>
+makeExtInterrupt(unsigned iterations)
+{
+    WorkloadInfo info;
+    info.name = "ext_interrupt";
+    info.usesExternalIrq = true;
+    for (unsigned i = 0; i < iterations; ++i)
+        info.extIrqSchedule.push_back(20'000 + 2'500 * i);
+    return std::make_unique<LambdaWorkload>(info, [=](KernelBuilder &kb) {
+        TaskSpec handler;
+        handler.name = "handler";
+        handler.priority = 5;
+        handler.body = [=](KernelBuilder &k) {
+            Assembler &a = k.a();
+            a.li(S0, static_cast<SWord>(iterations));
+            a.label("w_ext_h");
+            k.callSemTake(k.extSemaphore());
+            k.emitTrace(tag::kWorkItem, 0xE0);
+            a.addi(S0, S0, -1);
+            a.bnez(S0, "w_ext_h");
+            k.emitExit(0);
+        };
+        kb.addTask(handler);
+
+        TaskSpec bg;
+        bg.name = "background";
+        bg.priority = 1;
+        bg.body = [](KernelBuilder &k) {
+            Assembler &a = k.a();
+            a.label("w_ext_bg");
+            k.emitBusyLoop(70);
+            k.emitBusyDivLoop(5);
+            a.j("w_ext_bg");
+        };
+        kb.addTask(bg);
+    });
+}
+
+std::vector<std::unique_ptr<Workload>>
+standardSuite(unsigned iterations)
+{
+    std::vector<std::unique_ptr<Workload>> suite;
+    suite.push_back(makeYieldPingPong(iterations));
+    suite.push_back(makeRoundRobin(iterations));
+    suite.push_back(makeMutexWorkload(iterations));
+    suite.push_back(makeDelayWake(iterations));
+    suite.push_back(makeSemPingPong(iterations));
+    suite.push_back(makePriorityPreempt(iterations));
+    suite.push_back(makeExtInterrupt(iterations));
+    return suite;
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string &name, unsigned iterations)
+{
+    if (name == "yield_pingpong")
+        return makeYieldPingPong(iterations);
+    if (name == "round_robin")
+        return makeRoundRobin(iterations);
+    if (name == "mutex_workload")
+        return makeMutexWorkload(iterations);
+    if (name == "delay_wake")
+        return makeDelayWake(iterations);
+    if (name == "sem_pingpong")
+        return makeSemPingPong(iterations);
+    if (name == "priority_preempt")
+        return makePriorityPreempt(iterations);
+    if (name == "ext_interrupt")
+        return makeExtInterrupt(iterations);
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+} // namespace rtu

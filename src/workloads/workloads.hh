@@ -1,0 +1,81 @@
+/**
+ * @file
+ * RTOSBench-like workload suite (paper Section 6.1 evaluates "all
+ * tests provided by the RISC-V port of RTOSBench", 20 iterations).
+ *
+ * Each workload populates a kernel with tasks and synchronization
+ * objects exercising one kernel path: voluntary yields, time-slice
+ * round robin, mutex contention, semaphore signalling, delay/wake
+ * storms, priority preemption, and deferred external-interrupt
+ * handling. Workloads finish by writing the host exit register with
+ * code 0; tasks emit trace events the tests use to verify scheduling
+ * semantics across all RTOSUnit configurations.
+ */
+
+#ifndef RTU_WORKLOADS_WORKLOADS_HH
+#define RTU_WORKLOADS_WORKLOADS_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "kernel/kernel.hh"
+
+namespace rtu {
+
+struct WorkloadInfo
+{
+    std::string name;
+    bool usesExternalIrq = false;
+    std::vector<Cycle> extIrqSchedule;
+    std::uint64_t maxCycles = 20'000'000;
+};
+
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+    virtual WorkloadInfo info() const = 0;
+    /** Create mutexes/semaphores and add the tasks. */
+    virtual void addTasks(KernelBuilder &kb) const = 0;
+};
+
+/** Two equal-priority tasks yielding to each other. */
+std::unique_ptr<Workload> makeYieldPingPong(unsigned iterations);
+
+/** Four equal-priority compute tasks under timer round robin. */
+std::unique_ptr<Workload> makeRoundRobin(unsigned iterations);
+
+/**
+ * Three workers contending on one mutex with mixed priorities — the
+ * paper's power-analysis workload (`mutex_workload`, Section 6.3).
+ */
+std::unique_ptr<Workload> makeMutexWorkload(unsigned iterations);
+
+/** Six tasks sleeping with different periods (delay-list stress). */
+std::unique_ptr<Workload> makeDelayWake(unsigned iterations);
+
+/** Producer/consumer over a counting semaphore. */
+std::unique_ptr<Workload> makeSemPingPong(unsigned iterations);
+
+/** High-priority task periodically preempting a busy low one. */
+std::unique_ptr<Workload> makePriorityPreempt(unsigned iterations);
+
+/**
+ * Deferred interrupt handling: external interrupts wake a
+ * high-priority handler task through a semaphore (paper Section 1:
+ * the deferred-handling case that context-switch latency bounds).
+ */
+std::unique_ptr<Workload> makeExtInterrupt(unsigned iterations);
+
+/** The full suite, in a stable order. */
+std::vector<std::unique_ptr<Workload>> standardSuite(unsigned iterations);
+
+/** Look a workload up by name (fatal when unknown). */
+std::unique_ptr<Workload> makeWorkload(const std::string &name,
+                                       unsigned iterations);
+
+} // namespace rtu
+
+#endif // RTU_WORKLOADS_WORKLOADS_HH

@@ -1,0 +1,175 @@
+/** ASIC model tests: structural monotonicity, paper anchor ranges,
+ *  list-length scaling, frequency and power behaviour. */
+
+#include <gtest/gtest.h>
+
+#include "asic/asic.hh"
+
+namespace rtu {
+namespace {
+
+double
+norm(CoreKind core, const char *name)
+{
+    return AsicModel::area(core, RtosUnitConfig::fromName(name))
+        .normalized;
+}
+
+TEST(AsicArea, VanillaIsTheBaseline)
+{
+    for (CoreKind core : {CoreKind::kCv32e40p, CoreKind::kCva6,
+                          CoreKind::kNax}) {
+        const AreaResult a =
+            AsicModel::area(core, RtosUnitConfig::vanilla());
+        EXPECT_DOUBLE_EQ(a.normalized, 1.0);
+        EXPECT_GT(a.areaMm2, 0.0);
+    }
+}
+
+TEST(AsicArea, EveryConfigurationCostsAtLeastTheBaseline)
+{
+    for (CoreKind core : {CoreKind::kCv32e40p, CoreKind::kCva6,
+                          CoreKind::kNax}) {
+        for (const RtosUnitConfig &cfg : RtosUnitConfig::paperConfigs())
+            EXPECT_GE(AsicModel::area(core, cfg).normalized, 1.0)
+                << coreKindName(core) << "/" << cfg.name();
+    }
+}
+
+TEST(AsicArea, Cv32e40pAnchorsMatchPaperRanges)
+{
+    // Paper Section 6.3 figures for CV32E40P.
+    EXPECT_NEAR(norm(CoreKind::kCv32e40p, "S"), 1.219, 0.05);
+    EXPECT_NEAR(norm(CoreKind::kCv32e40p, "CV32RT"), 1.212, 0.05);
+    EXPECT_LT(norm(CoreKind::kCv32e40p, "T"), 1.03);  // "no overhead"
+    EXPECT_NEAR(norm(CoreKind::kCv32e40p, "ST"), 1.33, 0.05);
+    EXPECT_NEAR(norm(CoreKind::kCv32e40p, "SPLIT"), 1.44, 0.07);
+}
+
+TEST(AsicArea, RelativeOverheadShrinksOnBiggerCores)
+{
+    for (const char *name : {"S", "SLT", "SPLIT"}) {
+        EXPECT_GT(norm(CoreKind::kCv32e40p, name),
+                  norm(CoreKind::kCva6, name))
+            << name;
+    }
+}
+
+TEST(AsicArea, Cv32rtIsWorstOnNaxDueToRenaming)
+{
+    // Paper: 16 extra read ports under register renaming make CV32RT
+    // the most expensive variant on NaxRiscv, above even SPLIT.
+    EXPECT_GT(norm(CoreKind::kNax, "CV32RT"),
+              norm(CoreKind::kNax, "SPLIT"));
+    EXPECT_NEAR(norm(CoreKind::kNax, "CV32RT"), 1.19, 0.04);
+}
+
+TEST(AsicArea, Cva6StoreWithoutLoadCostsMoreThanWithLoad)
+{
+    // Paper: SWITCH_RF hazard logic makes (S*) > (S*L*) on CVA6 ...
+    EXPECT_GT(norm(CoreKind::kCva6, "ST"), norm(CoreKind::kCva6, "SLT"));
+    EXPECT_GT(norm(CoreKind::kCva6, "S"), norm(CoreKind::kCva6, "SL"));
+    // ... while NaxRiscv shows the opposite (pipeline rescheduling).
+    EXPECT_LT(norm(CoreKind::kNax, "S"), norm(CoreKind::kNax, "SL"));
+}
+
+TEST(AsicArea, ListLengthScalingIsLinear)
+{
+    // Figure 12: approximately linear, +14 % at 64 slots.
+    RtosUnitConfig cfg = RtosUnitConfig::fromName("T");
+    std::vector<double> norms;
+    for (unsigned slots : {8u, 16u, 32u, 64u}) {
+        cfg.listSlots = slots;
+        norms.push_back(
+            AsicModel::area(CoreKind::kCv32e40p, cfg).normalized);
+    }
+    for (size_t i = 1; i < norms.size(); ++i)
+        EXPECT_GT(norms[i], norms[i - 1]);
+    // Linear in slot count: doubling the slots doubles the increment.
+    const double step1 = norms[2] - norms[1];  // 16 -> 32
+    const double step2 = norms[3] - norms[2];  // 32 -> 64
+    EXPECT_NEAR(step2 / step1, 2.0, 0.1);
+    cfg.listSlots = 64;
+    EXPECT_NEAR(AsicModel::area(CoreKind::kCv32e40p, cfg).normalized,
+                1.14, 0.03);
+}
+
+TEST(AsicFmax, PaperTrends)
+{
+    const auto f = [](CoreKind c, const char *n) {
+        return AsicModel::fmaxGHz(c, RtosUnitConfig::fromName(n));
+    };
+    // CV32E40P: ~-15 % for all RTOSUnit configs, CV32RT unaffected.
+    EXPECT_NEAR(f(CoreKind::kCv32e40p, "SLT") /
+                    f(CoreKind::kCv32e40p, "vanilla"),
+                0.85, 0.02);
+    EXPECT_DOUBLE_EQ(f(CoreKind::kCv32e40p, "CV32RT"),
+                     f(CoreKind::kCv32e40p, "vanilla"));
+    // CVA6 ~-8 %.
+    EXPECT_NEAR(f(CoreKind::kCva6, "SLT") / f(CoreKind::kCva6, "vanilla"),
+                0.92, 0.02);
+    // NaxRiscv stable except SPLIT (-4 %).
+    EXPECT_DOUBLE_EQ(f(CoreKind::kNax, "SLT"),
+                     f(CoreKind::kNax, "vanilla"));
+    EXPECT_NEAR(f(CoreKind::kNax, "SPLIT") / f(CoreKind::kNax, "vanilla"),
+                0.96, 0.02);
+    // All remain GHz-class (paper: "viable operating frequencies").
+    for (CoreKind c : {CoreKind::kCv32e40p, CoreKind::kCva6,
+                       CoreKind::kNax}) {
+        for (const RtosUnitConfig &cfg : RtosUnitConfig::paperConfigs())
+            EXPECT_GT(AsicModel::fmaxGHz(c, cfg), 0.5);
+    }
+}
+
+TEST(AsicPower, StaticTracksArea)
+{
+    ActivityCounters act;
+    act.cycles = 100000;
+    act.instret = 70000;
+    act.memOps = 20000;
+    const PowerResult small = AsicModel::power(
+        CoreKind::kCv32e40p, RtosUnitConfig::vanilla(), act, 500);
+    const PowerResult big = AsicModel::power(
+        CoreKind::kCv32e40p, RtosUnitConfig::fromName("SPLIT"), act,
+        500);
+    EXPECT_GT(big.staticMw, small.staticMw);
+    EXPECT_GT(big.totalMw(), small.totalMw());
+}
+
+TEST(AsicPower, DynamicScalesWithFrequency)
+{
+    ActivityCounters act;
+    act.cycles = 100000;
+    act.instret = 70000;
+    const PowerResult slow = AsicModel::power(
+        CoreKind::kCva6, RtosUnitConfig::vanilla(), act, 100);
+    const PowerResult fast = AsicModel::power(
+        CoreKind::kCva6, RtosUnitConfig::vanilla(), act, 500);
+    EXPECT_NEAR(fast.dynamicMw / slow.dynamicMw, 5.0, 0.01);
+    EXPECT_DOUBLE_EQ(fast.staticMw, slow.staticMw);
+}
+
+TEST(AsicPower, BiggerCoresDrawMore)
+{
+    ActivityCounters act;
+    act.cycles = 100000;
+    act.instret = 70000;
+    act.memOps = 20000;
+    const double cv32 =
+        AsicModel::power(CoreKind::kCv32e40p, RtosUnitConfig::vanilla(),
+                         act, 500)
+            .totalMw();
+    const double cva6 =
+        AsicModel::power(CoreKind::kCva6, RtosUnitConfig::vanilla(), act,
+                         500)
+            .totalMw();
+    const double nax = AsicModel::power(CoreKind::kNax,
+                                        RtosUnitConfig::vanilla(), act,
+                                        500)
+                           .totalMw();
+    EXPECT_LT(cv32, cva6);
+    EXPECT_LT(cva6, nax);
+}
+
+} // namespace
+} // namespace rtu

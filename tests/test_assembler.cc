@@ -1,0 +1,114 @@
+/** Assembler tests: labels, fixups, pseudo-ops, data section. */
+
+#include <gtest/gtest.h>
+
+#include "asm/assembler.hh"
+#include "asm/decode.hh"
+
+namespace rtu {
+namespace {
+
+TEST(Assembler, ForwardBranchFixup)
+{
+    Assembler a(0x0, 0x1000'0000);
+    a.beq(A0, A1, "target");
+    a.nop();
+    a.label("target");
+    a.nop();
+    Program p = a.finish();
+    const DecodedInsn d = decode(p.text[0]);
+    EXPECT_EQ(d.op, Op::kBeq);
+    EXPECT_EQ(d.imm, 8);  // two instructions forward
+}
+
+TEST(Assembler, BackwardJumpFixup)
+{
+    Assembler a(0x0, 0x1000'0000);
+    a.label("loop");
+    a.nop();
+    a.j("loop");
+    Program p = a.finish();
+    const DecodedInsn d = decode(p.text[1]);
+    EXPECT_EQ(d.op, Op::kJal);
+    EXPECT_EQ(d.rd, Zero);
+    EXPECT_EQ(d.imm, -4);
+}
+
+TEST(Assembler, LiSmallImmediateIsOneInsn)
+{
+    Assembler a(0x0, 0x1000'0000);
+    a.li(A0, 42);
+    Program p = a.finish();
+    ASSERT_EQ(p.text.size(), 1u);
+    EXPECT_EQ(decode(p.text[0]).op, Op::kAddi);
+}
+
+TEST(Assembler, LiLargeImmediateSplitsHiLo)
+{
+    Assembler a(0x0, 0x1000'0000);
+    a.li(A0, static_cast<SWord>(0xDEADBEEF));
+    Program p = a.finish();
+    ASSERT_EQ(p.text.size(), 2u);
+    EXPECT_EQ(decode(p.text[0]).op, Op::kLui);
+    EXPECT_EQ(decode(p.text[1]).op, Op::kAddi);
+}
+
+TEST(Assembler, LaResolvesDataSymbol)
+{
+    Assembler a(0x0, 0x1000'0000);
+    a.la(A0, "myword");
+    a.dataWord("unused", 7);
+    const Addr addr = a.dataWord("myword", 99);
+    Program p = a.finish();
+    ASSERT_EQ(p.text.size(), 2u);
+    const DecodedInsn lui = decode(p.text[0]);
+    const DecodedInsn addi = decode(p.text[1]);
+    const Word resolved =
+        (static_cast<Word>(lui.imm) << 12) + static_cast<Word>(addi.imm);
+    EXPECT_EQ(resolved, addr);
+    EXPECT_EQ(p.symbol("myword"), addr);
+    EXPECT_EQ(p.data[1], 99u);
+}
+
+TEST(Assembler, LoopBoundAnnotatesNextControlFlow)
+{
+    Assembler a(0x0, 0x1000'0000);
+    a.label("loop");
+    a.nop();
+    a.loopBound(8);
+    a.j("loop");
+    Program p = a.finish();
+    ASSERT_EQ(p.loopBounds.size(), 1u);
+    EXPECT_EQ(p.loopBounds.begin()->first, 4u);
+    EXPECT_EQ(p.loopBounds.begin()->second, 8u);
+}
+
+TEST(Assembler, FunctionRangesRecorded)
+{
+    Assembler a(0x0, 0x1000'0000);
+    a.fnBegin("foo");
+    a.nop();
+    a.ret();
+    a.fnEnd();
+    Program p = a.finish();
+    EXPECT_EQ(p.functionAt(0x0), "foo");
+    EXPECT_EQ(p.functionAt(0x4), "foo");
+    EXPECT_EQ(p.functionAt(0x8), "");
+}
+
+TEST(AssemblerDeath, DuplicateLabelPanics)
+{
+    Assembler a(0x0, 0x1000'0000);
+    a.label("x");
+    EXPECT_DEATH(a.label("x"), "duplicate label");
+}
+
+TEST(AssemblerDeath, UndefinedLabelPanics)
+{
+    Assembler a(0x0, 0x1000'0000);
+    a.j("nowhere");
+    EXPECT_DEATH(a.finish(), "undefined label");
+}
+
+} // namespace
+} // namespace rtu

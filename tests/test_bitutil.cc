@@ -1,0 +1,57 @@
+/** Unit tests for bit-manipulation helpers. */
+
+#include <gtest/gtest.h>
+
+#include "common/bitutil.hh"
+
+namespace rtu {
+namespace {
+
+TEST(BitUtil, BitsExtractsInclusiveRange)
+{
+    EXPECT_EQ(bits(0xDEADBEEF, 31, 28), 0xDu);
+    EXPECT_EQ(bits(0xDEADBEEF, 3, 0), 0xFu);
+    EXPECT_EQ(bits(0xDEADBEEF, 31, 0), 0xDEADBEEFu);
+    EXPECT_EQ(bits(0xFF00, 15, 8), 0xFFu);
+}
+
+TEST(BitUtil, BitExtractsSingle)
+{
+    EXPECT_EQ(bit(0b1000, 3), 1u);
+    EXPECT_EQ(bit(0b1000, 2), 0u);
+}
+
+TEST(BitUtil, SextSignExtends)
+{
+    EXPECT_EQ(sext(0xFFF, 12), -1);
+    EXPECT_EQ(sext(0x7FF, 12), 2047);
+    EXPECT_EQ(sext(0x800, 12), -2048);
+    EXPECT_EQ(sext(0x0, 12), 0);
+    EXPECT_EQ(sext(0xFFFF'FFFF, 32), -1);
+}
+
+TEST(BitUtil, InsertBitsPlacesField)
+{
+    EXPECT_EQ(insertBits(0x3, 1, 0), 0x3u);
+    EXPECT_EQ(insertBits(0x3, 5, 4), 0x30u);
+    EXPECT_EQ(insertBits(0xFF, 3, 0), 0xFu);  // masked to width
+}
+
+TEST(BitUtil, FitsSigned)
+{
+    EXPECT_TRUE(fitsSigned(2047, 12));
+    EXPECT_FALSE(fitsSigned(2048, 12));
+    EXPECT_TRUE(fitsSigned(-2048, 12));
+    EXPECT_FALSE(fitsSigned(-2049, 12));
+    EXPECT_TRUE(fitsSigned(0, 1));
+}
+
+TEST(BitUtil, Alignment)
+{
+    EXPECT_EQ(alignDown(0x1237, 16), 0x1230u);
+    EXPECT_TRUE(isAligned(0x1000, 4));
+    EXPECT_FALSE(isAligned(0x1002, 4));
+}
+
+} // namespace
+} // namespace rtu

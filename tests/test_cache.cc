@@ -1,0 +1,101 @@
+/** Cache timing-model tests: hit/miss, LRU, write policies,
+ *  invalidation (the CV32RT hook on NaxRiscv). */
+
+#include <gtest/gtest.h>
+
+#include "cores/cache.hh"
+
+namespace rtu {
+namespace {
+
+TEST(Cache, ColdMissThenHit)
+{
+    CacheModel c({1024, 2, 16, false});
+    EXPECT_FALSE(c.access(0x100, false).hit);
+    EXPECT_TRUE(c.access(0x100, false).hit);
+    EXPECT_TRUE(c.access(0x10C, false).hit);  // same line
+    EXPECT_FALSE(c.access(0x110, false).hit); // next line
+}
+
+TEST(Cache, LruEvictsOldest)
+{
+    // 2-way, 16B lines, 1024B => 32 sets; same set every 512B.
+    CacheModel c({1024, 2, 16, false});
+    c.access(0x000, false);
+    c.access(0x200, false);
+    EXPECT_TRUE(c.access(0x000, false).hit);
+    // Third distinct line in the set evicts the LRU (0x200).
+    c.access(0x400, false);
+    EXPECT_TRUE(c.access(0x000, false).hit);
+    EXPECT_FALSE(c.access(0x200, false).hit);
+}
+
+TEST(Cache, WriteThroughDoesNotAllocateOnStoreMiss)
+{
+    CacheModel c({1024, 2, 16, false});
+    EXPECT_FALSE(c.access(0x300, true).hit);
+    EXPECT_FALSE(c.access(0x300, false).hit);  // still not resident
+}
+
+TEST(Cache, WriteBackAllocatesAndMarksDirty)
+{
+    CacheModel c({1024, 2, 16, true});
+    EXPECT_FALSE(c.access(0x300, true).hit);
+    EXPECT_TRUE(c.access(0x300, false).hit);
+    // Evicting the dirty line reports a writeback.
+    c.access(0x500, true);
+    const auto res = c.access(0x700, true);
+    EXPECT_TRUE(res.writeback || c.stats().writebacks > 0);
+}
+
+TEST(Cache, CleanEvictionHasNoWriteback)
+{
+    CacheModel c({1024, 2, 16, true});
+    c.access(0x000, false);
+    c.access(0x200, false);
+    const auto res = c.access(0x400, false);
+    EXPECT_FALSE(res.writeback);
+}
+
+TEST(Cache, InvalidateRangeDropsLines)
+{
+    CacheModel c({1024, 2, 16, true});
+    c.access(0x100, true);
+    c.access(0x110, true);
+    c.invalidateRange(0x100, 32);
+    EXPECT_FALSE(c.access(0x100, false).hit);
+    EXPECT_FALSE(c.access(0x110, false).hit);
+    EXPECT_EQ(c.stats().invalidations, 2u);
+}
+
+TEST(Cache, StatsCount)
+{
+    CacheModel c({1024, 2, 16, false});
+    c.access(0x0, false);
+    c.access(0x0, false);
+    c.access(0x40, false);
+    EXPECT_EQ(c.stats().hits, 1u);
+    EXPECT_EQ(c.stats().misses, 2u);
+}
+
+/** Property: any address maps back to the same set/tag (round-trip
+ *  through a fill + probe). */
+class CacheProperty : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(CacheProperty, FilledAddressAlwaysHitsUntilEvicted)
+{
+    CacheModel c({4096, 4, 32, true});
+    unsigned x = GetParam() * 2654435761u + 12345u;
+    const Addr addr = (x % 0x10000) & ~3u;
+    c.access(addr, false);
+    EXPECT_TRUE(c.access(addr, false).hit);
+    EXPECT_TRUE(c.access(addr ^ 0x1C, false).hit);  // same 32B line
+}
+
+INSTANTIATE_TEST_SUITE_P(Addresses, CacheProperty,
+                         ::testing::Range(0u, 20u));
+
+} // namespace
+} // namespace rtu

@@ -1,0 +1,105 @@
+/** CLINT tests: mtime/mtimecmp/msip plus the auto-reset extension. */
+
+#include <gtest/gtest.h>
+
+#include "sim/clint.hh"
+
+namespace rtu {
+namespace {
+
+class ClintTest : public ::testing::Test
+{
+  protected:
+    IrqLines irq;
+    Clint clint{irq};
+};
+
+TEST_F(ClintTest, MtimeAdvancesPerTick)
+{
+    EXPECT_EQ(clint.mtime(), 0u);
+    clint.tick(0);
+    clint.tick(1);
+    EXPECT_EQ(clint.mtime(), 2u);
+    EXPECT_EQ(clint.read(memmap::kClintMtime, MemSize::kWord), 2u);
+}
+
+TEST_F(ClintTest, TimerInterruptFiresAtCompare)
+{
+    clint.write(memmap::kClintMtimecmp, 3, MemSize::kWord);
+    clint.write(memmap::kClintMtimecmpHi, 0, MemSize::kWord);
+    clint.tick(0);
+    clint.tick(1);
+    EXPECT_EQ(irq.pending() & irq::kMti, 0u);
+    clint.tick(2);
+    EXPECT_NE(irq.pending() & irq::kMti, 0u);
+    EXPECT_EQ(irq.assertCycle(mcause::kMachineTimer), 2u);
+}
+
+TEST_F(ClintTest, ReprogrammingCompareClearsTimerLine)
+{
+    clint.write(memmap::kClintMtimecmp, 1, MemSize::kWord);
+    clint.write(memmap::kClintMtimecmpHi, 0, MemSize::kWord);
+    clint.tick(0);
+    ASSERT_NE(irq.pending() & irq::kMti, 0u);
+    clint.write(memmap::kClintMtimecmp, 100, MemSize::kWord);
+    EXPECT_EQ(irq.pending() & irq::kMti, 0u);
+}
+
+TEST_F(ClintTest, MsipRaisesAndClearsSoftwareInterrupt)
+{
+    clint.tick(0);
+    clint.write(memmap::kClintMsip, 1, MemSize::kWord);
+    EXPECT_NE(irq.pending() & irq::kMsi, 0u);
+    clint.write(memmap::kClintMsip, 0, MemSize::kWord);
+    EXPECT_EQ(irq.pending() & irq::kMsi, 0u);
+}
+
+TEST_F(ClintTest, AutoResetAdvancesCompareOnTakenTimer)
+{
+    clint.enableAutoReset(1000);
+    clint.write(memmap::kClintMtimecmp, 1000, MemSize::kWord);
+    clint.write(memmap::kClintMtimecmpHi, 0, MemSize::kWord);
+    for (Cycle c = 0; c < 1000; ++c)
+        clint.tick(c);
+    ASSERT_NE(irq.pending() & irq::kMti, 0u);
+    clint.timerTaken();
+    EXPECT_EQ(clint.mtimecmp(), 2000u);
+    clint.tick(1000);
+    EXPECT_EQ(irq.pending() & irq::kMti, 0u);
+}
+
+TEST_F(ClintTest, AutoResetKeepsExactCadence)
+{
+    clint.enableAutoReset(100);
+    clint.write(memmap::kClintMtimecmp, 100, MemSize::kWord);
+    clint.write(memmap::kClintMtimecmpHi, 0, MemSize::kWord);
+    // Take the interrupt late: the next deadline must stay on the
+    // original 100-cycle grid, not drift.
+    for (Cycle c = 0; c < 150; ++c)
+        clint.tick(c);
+    clint.timerTaken();
+    EXPECT_EQ(clint.mtimecmp(), 200u);
+}
+
+TEST_F(ClintTest, WithoutAutoResetTakenTimerDoesNothing)
+{
+    clint.write(memmap::kClintMtimecmp, 10, MemSize::kWord);
+    clint.write(memmap::kClintMtimecmpHi, 0, MemSize::kWord);
+    clint.timerTaken();
+    EXPECT_EQ(clint.mtimecmp(), 10u);
+}
+
+TEST_F(ClintTest, ExtIrqDriverAssertsAtScheduledCycle)
+{
+    ExtIrqDriver ext;
+    ext.schedule(5);
+    ext.tick(4, irq);
+    EXPECT_EQ(irq.pending() & irq::kMei, 0u);
+    ext.tick(5, irq);
+    EXPECT_NE(irq.pending() & irq::kMei, 0u);
+    ext.ack(irq);
+    EXPECT_EQ(irq.pending() & irq::kMei, 0u);
+}
+
+} // namespace
+} // namespace rtu

@@ -1,0 +1,133 @@
+/** Encoder/decoder round-trip and golden-encoding tests. */
+
+#include <gtest/gtest.h>
+
+#include "asm/decode.hh"
+#include "asm/disasm.hh"
+#include "asm/encode.hh"
+
+namespace rtu {
+namespace {
+
+TEST(Encode, GoldenEncodings)
+{
+    // Cross-checked against the RISC-V ISA manual / binutils.
+    EXPECT_EQ(encode(Op::kAddi, A0, Zero, 0, 42), 0x02A00513u);
+    EXPECT_EQ(encode(Op::kAdd, A0, A1, A2, 0), 0x00C58533u);
+    EXPECT_EQ(encode(Op::kLui, T0, 0, 0, 0x12345), 0x123452B7u);
+    EXPECT_EQ(encode(Op::kLw, A0, SP, 0, 16), 0x01012503u);
+    EXPECT_EQ(encode(Op::kSw, 0, SP, A0, 16), 0x00A12823u);
+    EXPECT_EQ(encode(Op::kMret, 0, 0, 0, 0), 0x30200073u);
+    EXPECT_EQ(encode(Op::kWfi, 0, 0, 0, 0), 0x10500073u);
+    EXPECT_EQ(encode(Op::kEcall, 0, 0, 0, 0), 0x00000073u);
+    EXPECT_EQ(encode(Op::kMul, A0, A1, A2, 0), 0x02C58533u);
+}
+
+TEST(Decode, GoldenDecodings)
+{
+    DecodedInsn d = decode(0x02A00513);  // addi a0, zero, 42
+    EXPECT_EQ(d.op, Op::kAddi);
+    EXPECT_EQ(d.rd, A0);
+    EXPECT_EQ(d.rs1, Zero);
+    EXPECT_EQ(d.imm, 42);
+
+    d = decode(0xFE5214E3);  // bne tu... a backward branch
+    EXPECT_EQ(d.op, Op::kBne);
+    EXPECT_LT(d.imm, 0);
+}
+
+TEST(Decode, InvalidEncodingYieldsInvalidOp)
+{
+    EXPECT_EQ(decode(0xFFFFFFFF).op, Op::kInvalid);
+    EXPECT_EQ(decode(0x00000000).op, Op::kInvalid);
+}
+
+class RoundTrip : public ::testing::TestWithParam<Op>
+{
+};
+
+TEST_P(RoundTrip, EncodeDecodeIsIdentity)
+{
+    const Op op = GetParam();
+    DecodedInsn in;
+    in.op = op;
+    in.rd = writesRd(op) ? A0 : Zero;
+    in.rs1 = readsRs1(op) ? A1 : Zero;
+    in.rs2 = readsRs2(op) ? A2 : Zero;
+    in.csr = classOf(op) == InsnClass::kCsr ? csr::kMscratch : 0;
+    switch (classOf(op)) {
+      case InsnClass::kBranch: in.imm = -64; break;
+      case InsnClass::kJump: in.imm = op == Op::kJal ? 2048 : 52; break;
+      case InsnClass::kLoad:
+      case InsnClass::kStore: in.imm = -4; break;
+      case InsnClass::kCsr:
+        in.imm = (op == Op::kCsrrwi || op == Op::kCsrrsi ||
+                  op == Op::kCsrrci)
+                     ? 13
+                     : 0;
+        break;
+      default:
+        if (op == Op::kSlli || op == Op::kSrli || op == Op::kSrai)
+            in.imm = 7;
+        else if (op == Op::kAddi || op == Op::kSlti ||
+                 op == Op::kSltiu || op == Op::kXori || op == Op::kOri ||
+                 op == Op::kAndi)
+            in.imm = -3;
+        else if (op == Op::kLui || op == Op::kAuipc)
+            in.imm = 0x1234;
+        break;
+    }
+
+    const Word raw = encode(in.op, in.rd, in.rs1, in.rs2, in.imm, in.csr);
+    const DecodedInsn out = decode(raw);
+    EXPECT_EQ(out.op, in.op) << disassemble(raw);
+    if (writesRd(op)) {
+        EXPECT_EQ(out.rd, in.rd);
+    }
+    if (readsRs1(op) && classOf(op) != InsnClass::kCsr) {
+        EXPECT_EQ(out.rs1, in.rs1);
+    }
+    if (readsRs2(op)) {
+        EXPECT_EQ(out.rs2, in.rs2);
+    }
+    if (classOf(op) == InsnClass::kCsr) {
+        EXPECT_EQ(out.csr, in.csr);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, RoundTrip,
+    ::testing::Values(
+        Op::kLui, Op::kAuipc, Op::kJal, Op::kJalr, Op::kBeq, Op::kBne,
+        Op::kBlt, Op::kBge, Op::kBltu, Op::kBgeu, Op::kLb, Op::kLh,
+        Op::kLw, Op::kLbu, Op::kLhu, Op::kSb, Op::kSh, Op::kSw,
+        Op::kAddi, Op::kSlti, Op::kSltiu, Op::kXori, Op::kOri,
+        Op::kAndi, Op::kSlli, Op::kSrli, Op::kSrai, Op::kAdd, Op::kSub,
+        Op::kSll, Op::kSlt, Op::kSltu, Op::kXor, Op::kSrl, Op::kSra,
+        Op::kOr, Op::kAnd, Op::kEcall, Op::kMret, Op::kWfi, Op::kCsrrw,
+        Op::kCsrrs, Op::kCsrrc, Op::kCsrrwi, Op::kCsrrsi, Op::kCsrrci,
+        Op::kMul, Op::kMulh, Op::kMulhsu, Op::kMulhu, Op::kDiv,
+        Op::kDivu, Op::kRem, Op::kRemu, Op::kSetContextId,
+        Op::kGetHwSched, Op::kAddReady, Op::kAddDelay, Op::kRmTask,
+        Op::kSwitchRf),
+    [](const ::testing::TestParamInfo<Op> &info) {
+        std::string name = opName(info.param);
+        for (char &c : name) {
+            if (c == '.')
+                c = '_';
+        }
+        return name;
+    });
+
+TEST(Disasm, RendersReadableText)
+{
+    EXPECT_EQ(disassemble(encode(Op::kAddi, A0, Zero, 0, 42)),
+              "addi a0, zero, 42");
+    EXPECT_EQ(disassemble(encode(Op::kLw, A0, SP, 0, 16)),
+              "lw a0, 16(sp)");
+    EXPECT_EQ(disassemble(encode(Op::kGetHwSched, T0, 0, 0, 0)),
+              "rtu.getsched t0");
+}
+
+} // namespace
+} // namespace rtu

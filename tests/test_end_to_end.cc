@@ -1,0 +1,44 @@
+/** End-to-end smoke tests: generated kernels run to completion on the
+ *  CV32E40P model across RTOSUnit configurations. */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "sim/hostio.hh"
+
+namespace rtu {
+namespace {
+
+TEST(EndToEnd, VanillaYieldPingPongCompletes)
+{
+    auto w = makeYieldPingPong(10);
+    const RunResult r = runWorkload(CoreKind::kCv32e40p,
+                                    RtosUnitConfig::vanilla(), *w);
+    EXPECT_TRUE(r.ok) << "exit code 0x" << std::hex << r.exitCode;
+    EXPECT_GT(r.switchLatency.count(), 10u);
+}
+
+TEST(EndToEnd, SltYieldPingPongCompletes)
+{
+    auto w = makeYieldPingPong(10);
+    const RunResult r = runWorkload(
+        CoreKind::kCv32e40p, RtosUnitConfig::fromName("SLT"), *w);
+    EXPECT_TRUE(r.ok) << "exit code 0x" << std::hex << r.exitCode;
+    EXPECT_GT(r.switchLatency.count(), 10u);
+}
+
+TEST(EndToEnd, SltIsFasterThanVanilla)
+{
+    auto w = makeYieldPingPong(10);
+    const RunResult vanilla = runWorkload(
+        CoreKind::kCv32e40p, RtosUnitConfig::vanilla(), *w);
+    auto w2 = makeYieldPingPong(10);
+    const RunResult slt = runWorkload(
+        CoreKind::kCv32e40p, RtosUnitConfig::fromName("SLT"), *w2);
+    ASSERT_TRUE(vanilla.ok);
+    ASSERT_TRUE(slt.ok);
+    EXPECT_LT(slt.switchLatency.mean(), vanilla.switchLatency.mean());
+}
+
+} // namespace
+} // namespace rtu

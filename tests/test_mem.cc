@@ -1,0 +1,79 @@
+/** Memory system, SRAM and shared-port arbitration tests. */
+
+#include <gtest/gtest.h>
+
+#include "sim/mem.hh"
+#include "sim/memmap.hh"
+
+namespace rtu {
+namespace {
+
+TEST(Sram, ByteHalfWordAccess)
+{
+    Sram ram("ram", 0x1000, 0x100);
+    ram.write(0x1000, 0xDEADBEEF, MemSize::kWord);
+    EXPECT_EQ(ram.read(0x1000, MemSize::kWord), 0xDEADBEEFu);
+    EXPECT_EQ(ram.read(0x1000, MemSize::kByte), 0xEFu);
+    EXPECT_EQ(ram.read(0x1001, MemSize::kByte), 0xBEu);
+    EXPECT_EQ(ram.read(0x1002, MemSize::kHalf), 0xDEADu);
+
+    ram.write(0x1001, 0x42, MemSize::kByte);
+    EXPECT_EQ(ram.read(0x1000, MemSize::kWord), 0xDEAD42EFu);
+}
+
+TEST(Sram, LoadWords)
+{
+    Sram ram("ram", 0, 64);
+    ram.loadWords(8, {1, 2, 3});
+    EXPECT_EQ(ram.read(8, MemSize::kWord), 1u);
+    EXPECT_EQ(ram.read(12, MemSize::kWord), 2u);
+    EXPECT_EQ(ram.read(16, MemSize::kWord), 3u);
+}
+
+TEST(MemSystem, RoutesByAddress)
+{
+    Sram a("a", 0x0, 0x100);
+    Sram b("b", 0x1000, 0x100);
+    MemSystem sys;
+    sys.addDevice(&a);
+    sys.addDevice(&b);
+    sys.write32(0x10, 11);
+    sys.write32(0x1010, 22);
+    EXPECT_EQ(sys.read32(0x10), 11u);
+    EXPECT_EQ(sys.read32(0x1010), 22u);
+    EXPECT_EQ(sys.deviceAt(0x1010), &b);
+    EXPECT_EQ(sys.deviceAt(0x5000), nullptr);
+}
+
+TEST(MemSystemDeath, UnmappedAccessPanics)
+{
+    MemSystem sys;
+    EXPECT_DEATH(sys.read32(0x42), "unmapped");
+}
+
+TEST(SharedPort, CoreHasPriority)
+{
+    SharedPort port("p");
+    port.beginCycle();
+    EXPECT_TRUE(port.available());
+    port.claim();
+    EXPECT_FALSE(port.available());
+    EXPECT_FALSE(port.tryUse());
+
+    port.beginCycle();
+    EXPECT_TRUE(port.tryUse());
+    EXPECT_FALSE(port.tryUse());  // one secondary access per cycle
+
+    port.beginCycle();
+    EXPECT_TRUE(port.available());
+}
+
+TEST(MemMap, ContextRegionAddressing)
+{
+    EXPECT_EQ(memmap::ctxAddr(0), memmap::kCtxBase);
+    EXPECT_EQ(memmap::ctxAddr(1), memmap::kCtxBase + 128);
+    EXPECT_EQ(memmap::ctxAddr(7), memmap::kCtxBase + 7 * 128);
+}
+
+} // namespace
+} // namespace rtu

@@ -1,0 +1,88 @@
+/** RTOSUnit configuration validity and naming tests. */
+
+#include <gtest/gtest.h>
+
+#include "rtosunit/config.hh"
+
+namespace rtu {
+namespace {
+
+TEST(Config, VanillaHasNoHardware)
+{
+    const RtosUnitConfig c = RtosUnitConfig::vanilla();
+    EXPECT_TRUE(c.isVanilla());
+    EXPECT_FALSE(c.anyHardware());
+    EXPECT_TRUE(c.validate());
+    EXPECT_EQ(c.name(), "vanilla");
+}
+
+TEST(Config, FromNameRoundTripsPaperNames)
+{
+    for (const char *n : {"S", "SD", "SL", "SDLO", "T", "ST", "SDT",
+                          "SLT", "SDLOT", "SPLIT", "CV32RT", "vanilla"}) {
+        const RtosUnitConfig c = RtosUnitConfig::fromName(n);
+        EXPECT_EQ(c.name(), n) << n;
+        EXPECT_TRUE(c.validate()) << n;
+    }
+}
+
+TEST(Config, SplitExpandsToStorePreloadLoadOmitSched)
+{
+    const RtosUnitConfig c = RtosUnitConfig::fromName("SPLIT");
+    EXPECT_TRUE(c.store);
+    EXPECT_TRUE(c.preload);
+    EXPECT_TRUE(c.load);
+    EXPECT_TRUE(c.omit);
+    EXPECT_TRUE(c.sched);
+    EXPECT_FALSE(c.dirty);
+}
+
+TEST(Config, ValidityRules)
+{
+    std::string why;
+
+    RtosUnitConfig c;
+    c.load = true;  // L without S
+    EXPECT_FALSE(c.validate(&why));
+
+    c = {};
+    c.store = true;
+    c.load = true;
+    c.omit = true;
+    EXPECT_TRUE(c.validate(&why)) << why;
+
+    c = {};
+    c.omit = true;  // O without L
+    EXPECT_FALSE(c.validate(&why));
+
+    c = {};
+    c.dirty = true;  // D without S
+    EXPECT_FALSE(c.validate(&why));
+
+    c = RtosUnitConfig::fromName("SPLIT");
+    c.dirty = true;  // P incompatible with D
+    EXPECT_FALSE(c.validate(&why));
+
+    c = {};
+    c.cv32rt = true;
+    c.store = true;  // CV32RT is standalone
+    EXPECT_FALSE(c.validate(&why));
+
+    c = {};
+    c.sched = true;
+    c.listSlots = 0;
+    EXPECT_FALSE(c.validate(&why));
+}
+
+TEST(Config, PaperConfigListsAreValid)
+{
+    const auto all = RtosUnitConfig::paperConfigs();
+    EXPECT_EQ(all.size(), 12u);
+    for (const auto &c : all)
+        EXPECT_TRUE(c.validate()) << c.name();
+    const auto lat = RtosUnitConfig::latencyConfigs();
+    EXPECT_EQ(lat.size(), 10u);
+}
+
+} // namespace
+} // namespace rtu

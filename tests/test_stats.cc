@@ -1,0 +1,83 @@
+/** SampleStats unit tests (the aggregation behind every latency
+ *  number reported by the benches). */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+namespace rtu {
+namespace {
+
+TEST(SampleStats, BasicAggregates)
+{
+    SampleStats s;
+    for (double v : {10.0, 20.0, 30.0, 40.0})
+        s.add(v);
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.mean(), 25.0);
+    EXPECT_DOUBLE_EQ(s.min(), 10.0);
+    EXPECT_DOUBLE_EQ(s.max(), 40.0);
+    EXPECT_DOUBLE_EQ(s.jitter(), 30.0);
+}
+
+TEST(SampleStats, SingleSampleHasZeroJitterAndStddev)
+{
+    SampleStats s;
+    s.add(42.0);
+    EXPECT_DOUBLE_EQ(s.jitter(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(SampleStats, PercentileNearestRank)
+{
+    SampleStats s;
+    for (int i = 1; i <= 100; ++i)
+        s.add(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(1.0), 100.0);
+    EXPECT_NEAR(s.percentile(0.5), 50.0, 1.0);
+    EXPECT_NEAR(s.percentile(0.99), 99.0, 1.0);
+}
+
+TEST(SampleStats, PercentileOrderInsensitive)
+{
+    SampleStats s;
+    for (double v : {5.0, 1.0, 4.0, 2.0, 3.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(1.0), 5.0);
+}
+
+TEST(SampleStats, StddevMatchesHandComputation)
+{
+    SampleStats s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    // Sample stddev of this classic set is ~2.138.
+    EXPECT_NEAR(s.stddev(), 2.138, 0.01);
+}
+
+TEST(SampleStats, MergePreservesExtremes)
+{
+    SampleStats a;
+    a.add(1.0);
+    a.add(3.0);
+    SampleStats b;
+    b.add(100.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.min(), 1.0);
+    EXPECT_DOUBLE_EQ(a.max(), 100.0);
+}
+
+TEST(SampleStatsDeath, EmptyAggregatesPanic)
+{
+    SampleStats s;
+    EXPECT_DEATH(s.mean(), "empty");
+    EXPECT_DEATH(s.min(), "empty");
+    EXPECT_DEATH(s.max(), "empty");
+    EXPECT_DEATH(s.percentile(0.5), "empty");
+}
+
+} // namespace
+} // namespace rtu

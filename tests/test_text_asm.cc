@@ -1,0 +1,158 @@
+/** Text-assembler tests: parsing, equivalence with the builder API,
+ *  and a bare-metal end-to-end run of text-assembled code. */
+
+#include <gtest/gtest.h>
+
+#include "asm/decode.hh"
+#include "asm/disasm.hh"
+#include "asm/text_asm.hh"
+#include "cores/cv32e40p.hh"
+#include "sim/clint.hh"
+#include "sim/memmap.hh"
+
+namespace rtu {
+namespace {
+
+TEST(TextAsm, BasicInstructionsMatchBuilder)
+{
+    const Program text = assembleProgram(R"(
+        addi a0, zero, 42
+        add  a1, a0, a0
+        lw   a2, 16(sp)
+        sw   a2, 0(t0)
+        lui  t1, 0x12345
+    )");
+
+    Assembler b(0x0, 0x1000'0000);
+    b.addi(A0, Zero, 42);
+    b.add(A1, A0, A0);
+    b.lw(A2, 16, SP);
+    b.sw(A2, 0, T0);
+    b.lui(T1, 0x12345);
+    const Program built = b.finish();
+
+    ASSERT_EQ(text.text.size(), built.text.size());
+    for (size_t i = 0; i < built.text.size(); ++i)
+        EXPECT_EQ(text.text[i], built.text[i])
+            << i << ": " << disassemble(text.text[i]) << " vs "
+            << disassemble(built.text[i]);
+}
+
+TEST(TextAsm, LabelsBranchesAndComments)
+{
+    const Program p = assembleProgram(R"(
+        # counts down from 3
+        li t0, 3
+loop:   addi t0, t0, -1
+        bnez t0, loop       # backward branch
+        j done
+done:   nop
+    )");
+    EXPECT_EQ(p.symbol("loop"), 4u);
+    EXPECT_EQ(p.symbol("done"), 16u);
+    const DecodedInsn br = decode(p.text[2]);
+    EXPECT_EQ(br.op, Op::kBne);
+    EXPECT_EQ(br.imm, -4);
+}
+
+TEST(TextAsm, CsrNamesAndCustomInstructions)
+{
+    const Program p = assembleProgram(R"(
+        csrr t0, mstatus
+        csrw mscratch, t0
+        csrrwi t1, mtvec, 4
+        rtu.getsched t0
+        rtu.addready t0, t1
+        rtu.semtake t2, a0
+        mret
+    )");
+    EXPECT_EQ(decode(p.text[0]).csr, csr::kMstatus);
+    EXPECT_EQ(decode(p.text[1]).csr, csr::kMscratch);
+    EXPECT_EQ(decode(p.text[3]).op, Op::kGetHwSched);
+    EXPECT_EQ(decode(p.text[4]).op, Op::kAddReady);
+    EXPECT_EQ(decode(p.text[5]).op, Op::kSemTake);
+    EXPECT_EQ(decode(p.text[6]).op, Op::kMret);
+}
+
+TEST(TextAsm, DataDirectivesAndLa)
+{
+    const Program p = assembleProgram(R"(
+        .word counter 7
+        .array buffer 4
+        la a0, counter
+        lw a1, 0(a0)
+    )");
+    EXPECT_EQ(p.data[0], 7u);
+    EXPECT_EQ(p.data.size(), 5u);
+    EXPECT_EQ(p.symbol("buffer"), p.symbol("counter") + 4);
+}
+
+TEST(TextAsm, LoopBoundDirective)
+{
+    const Program p = assembleProgram(R"(
+loop:   nop
+        .loopbound 8
+        j loop
+    )");
+    ASSERT_EQ(p.loopBounds.size(), 1u);
+    EXPECT_EQ(p.loopBounds.begin()->second, 8u);
+}
+
+TEST(TextAsmDeath, ErrorsCarryLineNumbers)
+{
+    EXPECT_EXIT(assembleProgram("addi a0, a0\n"),
+                ::testing::ExitedWithCode(1), "line 1");
+    EXPECT_EXIT(assembleProgram("\nfoo a0, a0, a0\n"),
+                ::testing::ExitedWithCode(1),
+                "line 2.*unknown mnemonic");
+    EXPECT_EXIT(assembleProgram("addi a0, a9, 1\n"),
+                ::testing::ExitedWithCode(1), "unknown register");
+    EXPECT_EXIT(assembleProgram("lw a0, 16[sp]\n"),
+                ::testing::ExitedWithCode(1), "off\\(base\\)");
+}
+
+TEST(TextAsm, EndToEndFibonacciOnCv32e40p)
+{
+    const Program p = assembleProgram(R"(
+        # fib(10) into a0, store to DMEM, then spin
+        li   t0, 10
+        li   a0, 0
+        li   a1, 1
+fib:    add  t1, a0, a1
+        mv   a0, a1
+        mv   a1, t1
+        addi t0, t0, -1
+        bnez t0, fib
+        lui  t2, 0x10000
+        sw   a0, 0(t2)
+end:    j end
+    )");
+
+    IrqLines irq;
+    MemSystem mem;
+    Sram imem("imem", memmap::kImemBase, memmap::kImemSize);
+    Sram dmem("dmem", memmap::kDmemBase, memmap::kDmemSize);
+    Clint clint(irq);
+    mem.addDevice(&imem);
+    mem.addDevice(&dmem);
+    imem.loadWords(p.textBase, p.text);
+    ArchState state;
+    Executor exec(state, mem, irq);
+    SharedPort port("dmem");
+    Core::Env env;
+    env.state = &state;
+    env.exec = &exec;
+    env.mem = &mem;
+    env.irq = &irq;
+    env.dmemPort = &port;
+    env.clint = &clint;
+    Cv32e40pCore core(env);
+    for (Cycle c = 0; c < 300 && state.pc() != p.symbol("end"); ++c) {
+        port.beginCycle();
+        core.tick(c);
+    }
+    EXPECT_EQ(mem.read32(memmap::kDmemBase), 55u);  // fib(10)
+}
+
+} // namespace
+} // namespace rtu
