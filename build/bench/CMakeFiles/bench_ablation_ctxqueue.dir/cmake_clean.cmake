@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ctxqueue.dir/bench_ablation_ctxqueue.cc.o"
+  "CMakeFiles/bench_ablation_ctxqueue.dir/bench_ablation_ctxqueue.cc.o.d"
+  "bench_ablation_ctxqueue"
+  "bench_ablation_ctxqueue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ctxqueue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_lists.dir/bench_ablation_lists.cc.o"
+  "CMakeFiles/bench_ablation_lists.dir/bench_ablation_lists.cc.o.d"
+  "bench_ablation_lists"
+  "bench_ablation_lists.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lists.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

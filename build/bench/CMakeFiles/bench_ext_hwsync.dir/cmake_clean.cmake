@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_hwsync.dir/bench_ext_hwsync.cc.o"
+  "CMakeFiles/bench_ext_hwsync.dir/bench_ext_hwsync.cc.o.d"
+  "bench_ext_hwsync"
+  "bench_ext_hwsync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_hwsync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_area.dir/bench_fig10_area.cc.o"
+  "CMakeFiles/bench_fig10_area.dir/bench_fig10_area.cc.o.d"
+  "bench_fig10_area"
+  "bench_fig10_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

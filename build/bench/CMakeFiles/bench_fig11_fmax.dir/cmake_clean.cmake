@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_fmax.dir/bench_fig11_fmax.cc.o"
+  "CMakeFiles/bench_fig11_fmax.dir/bench_fig11_fmax.cc.o.d"
+  "bench_fig11_fmax"
+  "bench_fig11_fmax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_fmax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wcet_table.dir/bench_wcet_table.cc.o"
+  "CMakeFiles/bench_wcet_table.dir/bench_wcet_table.cc.o.d"
+  "bench_wcet_table"
+  "bench_wcet_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wcet_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deferred_interrupt.dir/deferred_interrupt.cpp.o"
+  "CMakeFiles/deferred_interrupt.dir/deferred_interrupt.cpp.o.d"
+  "deferred_interrupt"
+  "deferred_interrupt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deferred_interrupt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

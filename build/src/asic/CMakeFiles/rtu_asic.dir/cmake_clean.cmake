@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtu_asic.dir/asic.cc.o"
+  "CMakeFiles/rtu_asic.dir/asic.cc.o.d"
+  "librtu_asic.a"
+  "librtu_asic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtu_asic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/asm/assembler.cc" "src/asm/CMakeFiles/rtu_asm.dir/assembler.cc.o" "gcc" "src/asm/CMakeFiles/rtu_asm.dir/assembler.cc.o.d"
+  "/root/repo/src/asm/decode.cc" "src/asm/CMakeFiles/rtu_asm.dir/decode.cc.o" "gcc" "src/asm/CMakeFiles/rtu_asm.dir/decode.cc.o.d"
+  "/root/repo/src/asm/disasm.cc" "src/asm/CMakeFiles/rtu_asm.dir/disasm.cc.o" "gcc" "src/asm/CMakeFiles/rtu_asm.dir/disasm.cc.o.d"
+  "/root/repo/src/asm/encode.cc" "src/asm/CMakeFiles/rtu_asm.dir/encode.cc.o" "gcc" "src/asm/CMakeFiles/rtu_asm.dir/encode.cc.o.d"
+  "/root/repo/src/asm/insn.cc" "src/asm/CMakeFiles/rtu_asm.dir/insn.cc.o" "gcc" "src/asm/CMakeFiles/rtu_asm.dir/insn.cc.o.d"
+  "/root/repo/src/asm/program.cc" "src/asm/CMakeFiles/rtu_asm.dir/program.cc.o" "gcc" "src/asm/CMakeFiles/rtu_asm.dir/program.cc.o.d"
+  "/root/repo/src/asm/text_asm.cc" "src/asm/CMakeFiles/rtu_asm.dir/text_asm.cc.o" "gcc" "src/asm/CMakeFiles/rtu_asm.dir/text_asm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rtu_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtu_asm.dir/assembler.cc.o"
+  "CMakeFiles/rtu_asm.dir/assembler.cc.o.d"
+  "CMakeFiles/rtu_asm.dir/decode.cc.o"
+  "CMakeFiles/rtu_asm.dir/decode.cc.o.d"
+  "CMakeFiles/rtu_asm.dir/disasm.cc.o"
+  "CMakeFiles/rtu_asm.dir/disasm.cc.o.d"
+  "CMakeFiles/rtu_asm.dir/encode.cc.o"
+  "CMakeFiles/rtu_asm.dir/encode.cc.o.d"
+  "CMakeFiles/rtu_asm.dir/insn.cc.o"
+  "CMakeFiles/rtu_asm.dir/insn.cc.o.d"
+  "CMakeFiles/rtu_asm.dir/program.cc.o"
+  "CMakeFiles/rtu_asm.dir/program.cc.o.d"
+  "CMakeFiles/rtu_asm.dir/text_asm.cc.o"
+  "CMakeFiles/rtu_asm.dir/text_asm.cc.o.d"
+  "librtu_asm.a"
+  "librtu_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtu_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rtu_asm.
+# This may be replaced when dependencies are built.

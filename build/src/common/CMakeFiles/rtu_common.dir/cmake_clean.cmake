@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtu_common.dir/logging.cc.o"
+  "CMakeFiles/rtu_common.dir/logging.cc.o.d"
+  "librtu_common.a"
+  "librtu_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtu_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cores/cache.cc" "src/cores/CMakeFiles/rtu_cores.dir/cache.cc.o" "gcc" "src/cores/CMakeFiles/rtu_cores.dir/cache.cc.o.d"
+  "/root/repo/src/cores/cv32e40p.cc" "src/cores/CMakeFiles/rtu_cores.dir/cv32e40p.cc.o" "gcc" "src/cores/CMakeFiles/rtu_cores.dir/cv32e40p.cc.o.d"
+  "/root/repo/src/cores/cva6.cc" "src/cores/CMakeFiles/rtu_cores.dir/cva6.cc.o" "gcc" "src/cores/CMakeFiles/rtu_cores.dir/cva6.cc.o.d"
+  "/root/repo/src/cores/executor.cc" "src/cores/CMakeFiles/rtu_cores.dir/executor.cc.o" "gcc" "src/cores/CMakeFiles/rtu_cores.dir/executor.cc.o.d"
+  "/root/repo/src/cores/nax.cc" "src/cores/CMakeFiles/rtu_cores.dir/nax.cc.o" "gcc" "src/cores/CMakeFiles/rtu_cores.dir/nax.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rtu_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/rtu_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rtu_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

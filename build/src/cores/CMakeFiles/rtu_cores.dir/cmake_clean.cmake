@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtu_cores.dir/cache.cc.o"
+  "CMakeFiles/rtu_cores.dir/cache.cc.o.d"
+  "CMakeFiles/rtu_cores.dir/cv32e40p.cc.o"
+  "CMakeFiles/rtu_cores.dir/cv32e40p.cc.o.d"
+  "CMakeFiles/rtu_cores.dir/cva6.cc.o"
+  "CMakeFiles/rtu_cores.dir/cva6.cc.o.d"
+  "CMakeFiles/rtu_cores.dir/executor.cc.o"
+  "CMakeFiles/rtu_cores.dir/executor.cc.o.d"
+  "CMakeFiles/rtu_cores.dir/nax.cc.o"
+  "CMakeFiles/rtu_cores.dir/nax.cc.o.d"
+  "librtu_cores.a"
+  "librtu_cores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtu_cores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

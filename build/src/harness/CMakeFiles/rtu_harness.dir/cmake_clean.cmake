@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtu_harness.dir/experiment.cc.o"
+  "CMakeFiles/rtu_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/rtu_harness.dir/simulation.cc.o"
+  "CMakeFiles/rtu_harness.dir/simulation.cc.o.d"
+  "librtu_harness.a"
+  "librtu_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtu_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

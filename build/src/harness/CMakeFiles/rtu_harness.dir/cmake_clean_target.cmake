@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librtu_harness.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtu_kernel.dir/kernel.cc.o"
+  "CMakeFiles/rtu_kernel.dir/kernel.cc.o.d"
+  "librtu_kernel.a"
+  "librtu_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtu_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtosunit/config.cc" "src/rtosunit/CMakeFiles/rtu_rtosunit.dir/config.cc.o" "gcc" "src/rtosunit/CMakeFiles/rtu_rtosunit.dir/config.cc.o.d"
+  "/root/repo/src/rtosunit/cv32rt.cc" "src/rtosunit/CMakeFiles/rtu_rtosunit.dir/cv32rt.cc.o" "gcc" "src/rtosunit/CMakeFiles/rtu_rtosunit.dir/cv32rt.cc.o.d"
+  "/root/repo/src/rtosunit/hw_lists.cc" "src/rtosunit/CMakeFiles/rtu_rtosunit.dir/hw_lists.cc.o" "gcc" "src/rtosunit/CMakeFiles/rtu_rtosunit.dir/hw_lists.cc.o.d"
+  "/root/repo/src/rtosunit/rtosunit.cc" "src/rtosunit/CMakeFiles/rtu_rtosunit.dir/rtosunit.cc.o" "gcc" "src/rtosunit/CMakeFiles/rtu_rtosunit.dir/rtosunit.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rtu_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/rtu_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rtu_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtu_rtosunit.dir/config.cc.o"
+  "CMakeFiles/rtu_rtosunit.dir/config.cc.o.d"
+  "CMakeFiles/rtu_rtosunit.dir/cv32rt.cc.o"
+  "CMakeFiles/rtu_rtosunit.dir/cv32rt.cc.o.d"
+  "CMakeFiles/rtu_rtosunit.dir/hw_lists.cc.o"
+  "CMakeFiles/rtu_rtosunit.dir/hw_lists.cc.o.d"
+  "CMakeFiles/rtu_rtosunit.dir/rtosunit.cc.o"
+  "CMakeFiles/rtu_rtosunit.dir/rtosunit.cc.o.d"
+  "librtu_rtosunit.a"
+  "librtu_rtosunit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtu_rtosunit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtu_sim.dir/clint.cc.o"
+  "CMakeFiles/rtu_sim.dir/clint.cc.o.d"
+  "CMakeFiles/rtu_sim.dir/hostio.cc.o"
+  "CMakeFiles/rtu_sim.dir/hostio.cc.o.d"
+  "CMakeFiles/rtu_sim.dir/mem.cc.o"
+  "CMakeFiles/rtu_sim.dir/mem.cc.o.d"
+  "librtu_sim.a"
+  "librtu_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtu_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtu_wcet.dir/wcet.cc.o"
+  "CMakeFiles/rtu_wcet.dir/wcet.cc.o.d"
+  "librtu_wcet.a"
+  "librtu_wcet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtu_wcet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

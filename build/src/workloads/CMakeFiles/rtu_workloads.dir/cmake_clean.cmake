@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtu_workloads.dir/workloads.cc.o"
+  "CMakeFiles/rtu_workloads.dir/workloads.cc.o.d"
+  "librtu_workloads.a"
+  "librtu_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtu_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

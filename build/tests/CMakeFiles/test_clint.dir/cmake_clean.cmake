@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clint.dir/test_clint.cc.o"
+  "CMakeFiles/test_clint.dir/test_clint.cc.o.d"
+  "test_clint"
+  "test_clint.pdb"
+  "test_clint[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

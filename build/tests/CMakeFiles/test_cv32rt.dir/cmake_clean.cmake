@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cv32rt.dir/test_cv32rt.cc.o"
+  "CMakeFiles/test_cv32rt.dir/test_cv32rt.cc.o.d"
+  "test_cv32rt"
+  "test_cv32rt.pdb"
+  "test_cv32rt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cv32rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

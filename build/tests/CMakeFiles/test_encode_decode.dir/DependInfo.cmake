@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_encode_decode.cc" "tests/CMakeFiles/test_encode_decode.dir/test_encode_decode.cc.o" "gcc" "tests/CMakeFiles/test_encode_decode.dir/test_encode_decode.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rtu_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/asm/CMakeFiles/rtu_asm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rtu_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cores/CMakeFiles/rtu_cores.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtosunit/CMakeFiles/rtu_rtosunit.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/rtu_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/rtu_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/rtu_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/asic/CMakeFiles/rtu_asic.dir/DependInfo.cmake"
+  "/root/repo/build/src/wcet/CMakeFiles/rtu_wcet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

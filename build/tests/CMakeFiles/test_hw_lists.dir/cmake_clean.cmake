@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw_lists.dir/test_hw_lists.cc.o"
+  "CMakeFiles/test_hw_lists.dir/test_hw_lists.cc.o.d"
+  "test_hw_lists"
+  "test_hw_lists.pdb"
+  "test_hw_lists[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw_lists.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

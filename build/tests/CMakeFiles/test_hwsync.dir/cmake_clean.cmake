@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hwsync.dir/test_hwsync.cc.o"
+  "CMakeFiles/test_hwsync.dir/test_hwsync.cc.o.d"
+  "test_hwsync"
+  "test_hwsync.pdb"
+  "test_hwsync[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hwsync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernel_semantics.dir/test_kernel_semantics.cc.o"
+  "CMakeFiles/test_kernel_semantics.dir/test_kernel_semantics.cc.o.d"
+  "test_kernel_semantics"
+  "test_kernel_semantics.pdb"
+  "test_kernel_semantics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernel_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

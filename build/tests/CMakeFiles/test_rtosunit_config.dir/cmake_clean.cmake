@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rtosunit_config.dir/test_rtosunit_config.cc.o"
+  "CMakeFiles/test_rtosunit_config.dir/test_rtosunit_config.cc.o.d"
+  "test_rtosunit_config"
+  "test_rtosunit_config.pdb"
+  "test_rtosunit_config[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rtosunit_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rtosunit_fsm.dir/test_rtosunit_fsm.cc.o"
+  "CMakeFiles/test_rtosunit_fsm.dir/test_rtosunit_fsm.cc.o.d"
+  "test_rtosunit_fsm"
+  "test_rtosunit_fsm.pdb"
+  "test_rtosunit_fsm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rtosunit_fsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_text_asm.dir/test_text_asm.cc.o"
+  "CMakeFiles/test_text_asm.dir/test_text_asm.cc.o.d"
+  "test_text_asm"
+  "test_text_asm.pdb"
+  "test_text_asm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_text_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wcet.dir/test_wcet.cc.o"
+  "CMakeFiles/test_wcet.dir/test_wcet.cc.o.d"
+  "test_wcet"
+  "test_wcet.pdb"
+  "test_wcet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wcet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

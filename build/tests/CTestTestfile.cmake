@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_bitutil[1]_include.cmake")
+include("/root/repo/build/tests/test_encode_decode[1]_include.cmake")
+include("/root/repo/build/tests/test_assembler[1]_include.cmake")
+include("/root/repo/build/tests/test_executor[1]_include.cmake")
+include("/root/repo/build/tests/test_mem[1]_include.cmake")
+include("/root/repo/build/tests/test_clint[1]_include.cmake")
+include("/root/repo/build/tests/test_hw_lists[1]_include.cmake")
+include("/root/repo/build/tests/test_rtosunit_config[1]_include.cmake")
+include("/root/repo/build/tests/test_end_to_end[1]_include.cmake")
+include("/root/repo/build/tests/test_rtosunit_fsm[1]_include.cmake")
+include("/root/repo/build/tests/test_cv32rt[1]_include.cmake")
+include("/root/repo/build/tests/test_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_kernel_semantics[1]_include.cmake")
+include("/root/repo/build/tests/test_cores[1]_include.cmake")
+include("/root/repo/build/tests/test_wcet[1]_include.cmake")
+include("/root/repo/build/tests/test_asic[1]_include.cmake")
+include("/root/repo/build/tests/test_harness[1]_include.cmake")
+include("/root/repo/build/tests/test_hwsync[1]_include.cmake")
+include("/root/repo/build/tests/test_executor_battery[1]_include.cmake")
+include("/root/repo/build/tests/test_determinism[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_text_asm[1]_include.cmake")
