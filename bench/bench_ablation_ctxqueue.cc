@@ -5,63 +5,57 @@
  * negatively impact context-switch latency, while larger sizes offer
  * no performance gain").
  *
- * Sweeps the depth 1..16 on the (SLT) configuration and reports mean
- * switch latency over the workload suite — the knee at eight entries
- * should reproduce.
+ * Sweeps the depth 1..16 on the (SLT) configuration through the
+ * SweepRunner and reports mean switch latency over the workload suite
+ * — the knee at eight entries should reproduce.
+ *
+ * Usage: bench_ablation_ctxqueue [--threads N] [--out results.jsonl]
  */
 
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
 
 #include "common/logging.hh"
-#include "harness/experiment.hh"
-#include "kernel/kernel.hh"
+#include "sweep/sweep.hh"
+#include "workloads/workloads.hh"
 
 using namespace rtu;
 
-namespace {
-
-double
-meanLatency(unsigned depth)
-{
-    SampleStats merged;
-    for (const auto &w : standardSuite(10)) {
-        const WorkloadInfo info = w->info();
-        KernelParams kp;
-        kp.unit = RtosUnitConfig::fromName("SLT");
-        kp.usesExternalIrq = info.usesExternalIrq;
-        KernelBuilder kb(kp);
-        w->addTasks(kb);
-        const Program program = kb.build();
-        SimConfig sc;
-        sc.core = CoreKind::kNax;
-        sc.unit = kp.unit;
-        sc.maxCycles = info.maxCycles;
-        sc.naxCtxQueueEntries = depth;
-        Simulation sim(sc, program);
-        for (Cycle at : info.extIrqSchedule)
-            sim.scheduleExtIrq(at);
-        if (!sim.run() || sim.exitCode() != 0) {
-            warn("ctxQueue depth %u: %s failed", depth,
-                 info.name.c_str());
-            continue;
-        }
-        merged.merge(sim.recorder().latencyStats(true));
-    }
-    return merged.empty() ? 0.0 : merged.mean();
-}
-
-} // namespace
-
 int
-main()
+main(int argc, char **argv)
 {
+    unsigned threads = 1;
+    std::string out_path;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--threads") && i + 1 < argc)
+            threads = static_cast<unsigned>(std::max(1, std::atoi(argv[++i])));
+        else if (!std::strcmp(argv[i], "--out") && i + 1 < argc)
+            out_path = argv[++i];
+    }
     setQuiet(true);
+
+    SweepSpec spec;
+    spec.cores = {CoreKind::kNax};
+    spec.units = {RtosUnitConfig::fromName("SLT")};
+    spec.workloads = standardWorkloadNames();
+    spec.ctxQueueDepths = {1, 2, 4, 6, 8, 12, 16};
+    spec.iterations = 10;
+
+    const auto results = SweepRunner(threads).run(spec);
+
     std::printf("Ablation: ctxQueue depth on NaxRiscv (SLT), mean "
-                "context-switch latency\n\n");
+                "context-switch latency (%u threads)\n\n", threads);
     std::printf("%7s %10s\n", "entries", "mean[cy]");
     double at8 = 0;
-    for (unsigned depth : {1u, 2u, 4u, 6u, 8u, 12u, 16u}) {
-        const double m = meanLatency(depth);
+    for (unsigned depth : spec.ctxQueueDepths) {
+        const SampleStats merged = mergeSweepLatencies(
+            results, [&](const SweepResult &r) {
+                return r.point.naxCtxQueueEntries == depth && r.run.ok;
+            });
+        const double m = merged.empty() ? 0.0 : merged.mean();
         if (depth == 8)
             at8 = m;
         std::printf("%7u %10.1f\n", depth, m);
@@ -69,5 +63,14 @@ main()
     std::printf("\npaper: eight entries Pareto-optimal — shallower "
                 "queues hurt latency, deeper ones gain nothing "
                 "(measured knee at 8: %.1f cycles)\n", at8);
+
+    if (!out_path.empty()) {
+        std::ofstream os(out_path);
+        if (!os)
+            fatal("cannot open --out file '%s'", out_path.c_str());
+        writeResultsJsonl(os, results);
+        std::printf("results: %s (%zu points)\n", out_path.c_str(),
+                    results.size());
+    }
     return 0;
 }

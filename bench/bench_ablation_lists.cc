@@ -7,40 +7,78 @@
  * the list length even when few tasks exist. Together they bound the
  * sensible list size for a given task count — the design trade-off
  * behind the paper's 8-entry default.
+ *
+ * Usage: bench_ablation_lists [--threads N] [--out results.jsonl]
  */
 
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
 
 #include "common/logging.hh"
-#include "harness/experiment.hh"
+#include "sweep/sweep.hh"
+#include "workloads/workloads.hh"
 
 using namespace rtu;
 
 int
-main()
+main(int argc, char **argv)
 {
+    unsigned threads = 1;
+    std::string out_path;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--threads") && i + 1 < argc)
+            threads = static_cast<unsigned>(std::max(1, std::atoi(argv[++i])));
+        else if (!std::strcmp(argv[i], "--out") && i + 1 < argc)
+            out_path = argv[++i];
+    }
     setQuiet(true);
-    std::printf("Ablation: hardware list length on CV32E40P (T), "
-                "workload suite x10\n\n");
-    std::printf("%6s %10s %8s %8s\n", "slots", "mean[cy]", "max",
-                "jitter");
+
+    SweepSpec spec;
+    spec.cores = {CoreKind::kCv32e40p};
     for (unsigned slots : {8u, 16u, 32u, 64u}) {
         RtosUnitConfig cfg = RtosUnitConfig::fromName("T");
         cfg.listSlots = slots;
-        const auto runs = runSuite(CoreKind::kCv32e40p, cfg, 10);
-        SampleStats merged = mergeSwitchLatencies(runs);
-        bool ok = !merged.empty();
-        for (const RunResult &r : runs)
-            ok = ok && r.ok;
-        if (!ok) {
-            std::printf("%6u    RUN FAILED\n", slots);
+        spec.units.push_back(cfg);
+    }
+    spec.workloads = standardWorkloadNames();
+    spec.iterations = 10;
+
+    const auto results = SweepRunner(threads).run(spec);
+
+    std::printf("Ablation: hardware list length on CV32E40P (T), "
+                "workload suite x10 (%u threads)\n\n", threads);
+    std::printf("%6s %10s %8s %8s\n", "slots", "mean[cy]", "max",
+                "jitter");
+    for (const RtosUnitConfig &cfg : spec.units) {
+        bool ok = true;
+        for (const SweepResult &r : results) {
+            if (r.point.unit == cfg)
+                ok = ok && r.run.ok;
+        }
+        const SampleStats merged = mergeSweepLatencies(
+            results,
+            [&](const SweepResult &r) { return r.point.unit == cfg; });
+        if (merged.empty() || !ok) {
+            std::printf("%6u    RUN FAILED\n", cfg.listSlots);
             continue;
         }
-        std::printf("%6u %10.1f %8.0f %8.0f\n", slots, merged.mean(),
-                    merged.max(), merged.jitter());
+        std::printf("%6u %10.1f %8.0f %8.0f\n", cfg.listSlots,
+                    merged.mean(), merged.max(), merged.jitter());
     }
     std::printf("\nLonger lists lengthen the sort-settle stall of "
                 "GET_HW_SCHED; with eight tasks the 8-slot default "
                 "is latency-optimal, matching the paper's choice.\n");
+
+    if (!out_path.empty()) {
+        std::ofstream os(out_path);
+        if (!os)
+            fatal("cannot open --out file '%s'", out_path.c_str());
+        writeResultsJsonl(os, results);
+        std::printf("results: %s (%zu points)\n", out_path.c_str(),
+                    results.size());
+    }
     return 0;
 }

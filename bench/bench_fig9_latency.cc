@@ -7,16 +7,29 @@
  * min / mean / max / jitter in cycles, plus the reduction of the mean
  * versus (vanilla) — the quantity the paper's headline claims use.
  *
+ * The whole grid runs through the SweepRunner: --threads N shards the
+ * independent simulations across a thread pool with identical results
+ * at any N (each point is an exact, isolated simulation; results are
+ * collected in grid order). --out/--trace emit machine-readable JSONL:
+ * one result line per grid point, and one line per recorded switch
+ * carrying all six phase timestamps (irq-assert, trap-taken,
+ * store-done, sched-done, load-done, mret).
+ *
  * Usage: bench_fig9_latency [--iterations N] [--per-workload]
+ *                           [--threads N] [--out results.jsonl]
+ *                           [--trace trace.jsonl]
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "common/logging.hh"
-#include "harness/experiment.hh"
+#include "sweep/sweep.hh"
+#include "workloads/workloads.hh"
 
 using namespace rtu;
 
@@ -24,35 +37,57 @@ int
 main(int argc, char **argv)
 {
     unsigned iterations = 20;
+    unsigned threads = 1;
     bool per_workload = false;
+    std::string out_path;
+    std::string trace_path;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--iterations") && i + 1 < argc)
-            iterations = static_cast<unsigned>(std::atoi(argv[++i]));
+            iterations = static_cast<unsigned>(std::max(1, std::atoi(argv[++i])));
+        else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc)
+            threads = static_cast<unsigned>(std::max(1, std::atoi(argv[++i])));
+        else if (!std::strcmp(argv[i], "--out") && i + 1 < argc)
+            out_path = argv[++i];
+        else if (!std::strcmp(argv[i], "--trace") && i + 1 < argc)
+            trace_path = argv[++i];
         else if (!std::strcmp(argv[i], "--per-workload"))
             per_workload = true;
     }
     setQuiet(true);
 
-    const CoreKind cores[] = {CoreKind::kCv32e40p, CoreKind::kCva6,
-                              CoreKind::kNax};
+    SweepSpec spec;
+    spec.cores = {CoreKind::kCv32e40p, CoreKind::kCva6, CoreKind::kNax};
+    spec.units = RtosUnitConfig::latencyConfigs();
+    spec.workloads = standardWorkloadNames();
+    spec.iterations = iterations;
+
+    const bool capture_trace = !trace_path.empty();
+    const SweepRunner runner(threads);
+    const auto results = runner.run(spec, capture_trace);
 
     std::printf("Figure 9: context-switch latencies (cycles), "
-                "RTOSBench-like suite x %u iterations\n",
-                iterations);
+                "RTOSBench-like suite x %u iterations (%u threads)\n",
+                iterations, runner.threads());
 
-    for (CoreKind core : cores) {
+    for (CoreKind core : spec.cores) {
         std::printf("\n=== %s ===\n", coreKindName(core));
         std::printf("%-9s %7s %8s %8s %8s %9s %9s\n", "config", "min",
                     "mean", "max", "jitter", "dMean%", "switches");
 
         double vanilla_mean = 0.0;
-        for (const RtosUnitConfig &cfg :
-             RtosUnitConfig::latencyConfigs()) {
-            const auto runs = runSuite(core, cfg, iterations);
+        for (const RtosUnitConfig &cfg : spec.units) {
             bool all_ok = true;
-            for (const RunResult &r : runs)
-                all_ok = all_ok && r.ok;
-            const SampleStats s = mergeSwitchLatencies(runs);
+            std::vector<const SweepResult *> rows;
+            for (const SweepResult &r : results) {
+                if (r.point.core == core && r.point.unit == cfg) {
+                    all_ok = all_ok && r.run.ok;
+                    rows.push_back(&r);
+                }
+            }
+            const SampleStats s = mergeSweepLatencies(
+                results, [&](const SweepResult &r) {
+                    return r.point.core == core && r.point.unit == cfg;
+                });
             if (s.empty() || !all_ok) {
                 std::printf("%-9s   RUN FAILED\n", cfg.name().c_str());
                 continue;
@@ -69,16 +104,32 @@ main(int argc, char **argv)
                         static_cast<unsigned long long>(s.count()));
 
             if (per_workload) {
-                for (const RunResult &r : runs) {
-                    if (r.switchLatency.empty())
+                for (const SweepResult *r : rows) {
+                    if (r->run.switchLatency.empty())
                         continue;
-                    const SampleStats &w = r.switchLatency;
+                    const SampleStats &w = r->run.switchLatency;
                     std::printf("    %-20s %6.0f %8.1f %8.0f %8.0f\n",
-                                r.workload.c_str(), w.min(), w.mean(),
-                                w.max(), w.jitter());
+                                r->point.workload.c_str(), w.min(),
+                                w.mean(), w.max(), w.jitter());
                 }
             }
         }
+    }
+
+    if (!out_path.empty()) {
+        std::ofstream os(out_path);
+        if (!os)
+            fatal("cannot open --out file '%s'", out_path.c_str());
+        writeResultsJsonl(os, results);
+        std::printf("\nresults: %s (%zu points)\n", out_path.c_str(),
+                    results.size());
+    }
+    if (capture_trace) {
+        std::ofstream os(trace_path);
+        if (!os)
+            fatal("cannot open --trace file '%s'", trace_path.c_str());
+        writeTraceJsonl(os, results);
+        std::printf("trace:   %s\n", trace_path.c_str());
     }
     return 0;
 }

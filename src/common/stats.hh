@@ -29,6 +29,7 @@ class SampleStats
     add(double v)
     {
         samples_.push_back(v);
+        sortedValid_ = false;
         sum_ += v;
         min_ = std::min(min_, v);
         max_ = std::max(max_, v);
@@ -61,16 +62,21 @@ class SampleStats
     /** Jitter as defined by the paper: max - min. */
     double jitter() const { return max() - min(); }
 
-    /** p in [0,1]; nearest-rank percentile. */
+    /**
+     * p in [0,1]; true nearest-rank percentile: the smallest sample
+     * with rank ceil(p*n) (rank 1 for p=0, rank n for p=1). The
+     * sorted view is computed once and cached across calls.
+     */
     double
     percentile(double p) const
     {
         rtu_assert(!empty(), "percentile of empty sample set");
-        std::vector<double> sorted(samples_);
-        std::sort(sorted.begin(), sorted.end());
-        const auto idx = static_cast<size_t>(
-            p * static_cast<double>(sorted.size() - 1) + 0.5);
-        return sorted[std::min(idx, sorted.size() - 1)];
+        rtu_assert(p >= 0.0 && p <= 1.0, "percentile %f out of [0,1]", p);
+        const std::vector<double> &sorted = sortedSamples();
+        const double n = static_cast<double>(sorted.size());
+        auto rank = static_cast<size_t>(std::ceil(p * n));
+        rank = std::min(std::max<size_t>(rank, 1), sorted.size());
+        return sorted[rank - 1];
     }
 
     double
@@ -96,7 +102,20 @@ class SampleStats
     }
 
   private:
+    const std::vector<double> &
+    sortedSamples() const
+    {
+        if (!sortedValid_) {
+            sorted_ = samples_;
+            std::sort(sorted_.begin(), sorted_.end());
+            sortedValid_ = true;
+        }
+        return sorted_;
+    }
+
     std::vector<double> samples_;
+    mutable std::vector<double> sorted_;  ///< percentile cache
+    mutable bool sortedValid_ = false;
     double sum_ = 0.0;
     double min_ = std::numeric_limits<double>::infinity();
     double max_ = -std::numeric_limits<double>::infinity();

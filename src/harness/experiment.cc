@@ -7,13 +7,13 @@ namespace rtu {
 
 RunResult
 runWorkload(CoreKind core, const RtosUnitConfig &unit,
-            const Workload &workload, Word timer_period_cycles)
+            const Workload &workload, const RunOptions &opts)
 {
     const WorkloadInfo winfo = workload.info();
 
     KernelParams kparams;
     kparams.unit = unit;
-    kparams.timerPeriodCycles = timer_period_cycles;
+    kparams.timerPeriodCycles = opts.timerPeriodCycles;
     kparams.usesExternalIrq = winfo.usesExternalIrq;
 
     KernelBuilder kb(kparams);
@@ -23,14 +23,27 @@ runWorkload(CoreKind core, const RtosUnitConfig &unit,
     SimConfig sconfig;
     sconfig.core = core;
     sconfig.unit = unit;
-    sconfig.timerPeriodCycles = timer_period_cycles;
+    sconfig.timerPeriodCycles = opts.timerPeriodCycles;
     sconfig.maxCycles = winfo.maxCycles;
+    sconfig.naxCtxQueueEntries = opts.naxCtxQueueEntries;
 
     Simulation sim(sconfig, program);
     for (Cycle at : winfo.extIrqSchedule)
         sim.scheduleExtIrq(at);
 
+    if (opts.sink) {
+        TraceRunLabel label;
+        label.core = coreKindName(core);
+        label.config = unit.name();
+        label.workload = winfo.name;
+        label.seed = opts.seed;
+        opts.sink->beginRun(label);
+        sim.setTraceSink(opts.sink);
+    }
+
     const bool exited = sim.run();
+    if (opts.sink)
+        opts.sink->endRun();
 
     RunResult res;
     res.core = core;
@@ -67,6 +80,15 @@ runWorkload(CoreKind core, const RtosUnitConfig &unit,
              static_cast<unsigned long long>(res.cycles));
     }
     return res;
+}
+
+RunResult
+runWorkload(CoreKind core, const RtosUnitConfig &unit,
+            const Workload &workload, Word timer_period_cycles)
+{
+    RunOptions opts;
+    opts.timerPeriodCycles = timer_period_cycles;
+    return runWorkload(core, unit, workload, opts);
 }
 
 std::vector<RunResult>

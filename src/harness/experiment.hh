@@ -44,7 +44,24 @@ struct RunResult
     ActivityCounters activity;
 };
 
+/** Knobs of a single run beyond (core, configuration, workload). */
+struct RunOptions
+{
+    Word timerPeriodCycles = 1000;
+    /** NaxRiscv LSU ctxQueue depth (paper Fig 8; ablation knob). */
+    unsigned naxCtxQueueEntries = 8;
+    /** Optional per-episode trace destination (phase timestamps). The
+     *  run is bracketed with beginRun()/endRun() on the sink. */
+    TraceSink *sink = nullptr;
+    /** Deterministic seed recorded in trace labels (reserved for
+     *  future stochastic workloads; the simulator itself is exact). */
+    std::uint64_t seed = 0;
+};
+
 /** Run one workload on one (core, configuration) pair. */
+RunResult runWorkload(CoreKind core, const RtosUnitConfig &unit,
+                      const Workload &workload, const RunOptions &opts);
+
 RunResult runWorkload(CoreKind core, const RtosUnitConfig &unit,
                       const Workload &workload,
                       Word timer_period_cycles = 1000);

@@ -103,6 +103,13 @@ Simulation::Simulation(const SimConfig &config, const Program &program)
         if (config_.unit.sched)
             clint_.enableAutoReset(config_.timerPeriodCycles);
     }
+
+    // Phase tracing: the units stamp store/sched/load completion into
+    // the recorder's in-flight episode through this simulation.
+    if (unit_)
+        unit_->setPhaseObserver(this, &now_);
+    if (cv32rt_)
+        cv32rt_->setPhaseObserver(this);
 }
 
 Simulation::~Simulation() = default;
@@ -130,6 +137,12 @@ void
 Simulation::mretCompleted(Cycle cycle)
 {
     recorder_.endEpisode(cycle, currentGuestTask());
+}
+
+void
+Simulation::phaseReached(SwitchPhase phase, Cycle cycle)
+{
+    recorder_.notePhase(phase, cycle);
 }
 
 bool

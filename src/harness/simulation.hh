@@ -23,6 +23,7 @@
 #include "sim/irq.hh"
 #include "sim/mem.hh"
 #include "sim/switchrec.hh"
+#include "trace/trace.hh"
 
 namespace rtu {
 
@@ -41,7 +42,7 @@ struct SimConfig
     unsigned naxCtxQueueEntries = 8;
 };
 
-class Simulation : public CoreListener
+class Simulation : public CoreListener, public PhaseObserver
 {
   public:
     Simulation(const SimConfig &config, const Program &program);
@@ -49,6 +50,13 @@ class Simulation : public CoreListener
 
     /** Assert the external interrupt line at @p cycle. */
     void scheduleExtIrq(Cycle at);
+
+    /**
+     * Stream completed switch episodes (with phase timestamps) into
+     * @p sink. The caller brackets the run with beginRun()/endRun()
+     * on the sink; episodes are emitted in simulation order.
+     */
+    void setTraceSink(TraceSink *sink) { recorder_.setSink(sink); }
 
     /**
      * Run to guest exit or the cycle limit.
@@ -75,6 +83,7 @@ class Simulation : public CoreListener
   private:
     void trapTaken(Word cause, Cycle entry_cycle) override;
     void mretCompleted(Cycle cycle) override;
+    void phaseReached(SwitchPhase phase, Cycle cycle) override;
 
     Word currentGuestTask();
 

@@ -28,15 +28,18 @@ Cv32rtUnit::onTrapEntry(Word cause)
 void
 Cv32rtUnit::tick(Cycle now)
 {
-    (void)now;
     if (drainBusy() && port_.canAccept()) {
         port_.pushWrite(drainBase_ + 4 * drainIdx_, snapshot_[drainIdx_]);
         ++stats_.drainedWords;
         ++drainIdx_;
-        if (!drainBusy() && cache_) {
-            // The dedicated port bypassed the write-back cache; the
-            // lines covering the drained words must be invalidated.
-            cache_->invalidateRange(drainBase_, kSnapWords * 4);
+        if (!drainBusy()) {
+            if (cache_) {
+                // The dedicated port bypassed the write-back cache; the
+                // lines covering the drained words must be invalidated.
+                cache_->invalidateRange(drainBase_, kSnapWords * 4);
+            }
+            if (phaseObserver_)
+                phaseObserver_->phaseReached(SwitchPhase::kStoreDone, now);
         }
     }
     port_.tick();

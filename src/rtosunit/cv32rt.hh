@@ -24,6 +24,7 @@
 #include "common/types.hh"
 #include "cores/arch_state.hh"
 #include "cores/rtosunit_port.hh"
+#include "trace/trace.hh"
 #include "unit_mem.hh"
 
 namespace rtu {
@@ -52,6 +53,12 @@ class Cv32rtUnit : public RtosUnitPort
 
     void tick(Cycle now);
 
+    /** Phase tracing: store-done fires when the drain completes. */
+    void setPhaseObserver(PhaseObserver *observer)
+    {
+        phaseObserver_ = observer;
+    }
+
     // ---- RtosUnitPort ---------------------------------------------------
     void setContextId(Word id) override;
     Word getHwSched() override;
@@ -75,6 +82,7 @@ class Cv32rtUnit : public RtosUnitPort
     ArchState &state_;
     UnitMemPort &port_;
     UnitCacheHook *cache_;
+    PhaseObserver *phaseObserver_ = nullptr;
 
     std::array<Word, kSnapWords> snapshot_{};
     Addr drainBase_ = 0;

@@ -63,6 +63,7 @@ RtosUnit::getHwSched()
     const TaskId id = ready_.popHeadRoundRobin(&prio);
     currentCtxId_ = id;
     currentPrio_ = prio;
+    notifyPhase(SwitchPhase::kSchedDone);
     if (config_.load)
         scheduleRestore(id);
     return id;
@@ -283,10 +284,15 @@ RtosUnit::stepStoreFsm()
 
     if (storeIdx_ == kCtxWords && port_.idle()) {
         storeActive_ = false;
+        notifyPhase(SwitchPhase::kStoreDone);
         if (lockstepActive_) {
             rfHolds_ = lockstepId_;
             rfHoldsValid_ = true;
             lockstepActive_ = false;
+            // A confirmed lockstep preload IS the restore: it finishes
+            // with the drain it shadowed.
+            if (lockstepSatisfies_)
+                notifyPhase(SwitchPhase::kLoadDone);
         } else {
             // A plain drain leaves the stored task's values in place.
             rfHolds_ = storeTask_;
@@ -316,6 +322,7 @@ RtosUnit::scheduleRestore(TaskId id)
         // holds the right values (memory is made consistent by the
         // store that precedes any restore).
         ++stats_.loadOmissions;
+        notifyPhase(SwitchPhase::kLoadDone);
         return;
     }
     rtu_assert(!restoreActive_, "restore scheduled while one is running");
@@ -362,6 +369,7 @@ RtosUnit::stepRestoreFsm()
         restoreActive_ = false;
         rfHolds_ = restoreTask_;
         rfHoldsValid_ = true;
+        notifyPhase(SwitchPhase::kLoadDone);
     }
 }
 
@@ -440,6 +448,13 @@ RtosUnit::stepPreloader()
         preBufId_ = preTask_;
         ++stats_.preloadFetches;
     }
+}
+
+void
+RtosUnit::notifyPhase(SwitchPhase phase)
+{
+    if (phaseObserver_ && clock_)
+        phaseObserver_->phaseReached(phase, *clock_);
 }
 
 // ---- clock ------------------------------------------------------------------

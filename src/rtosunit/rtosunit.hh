@@ -33,6 +33,7 @@
 #include "cores/rtosunit_port.hh"
 #include "hw_lists.hh"
 #include "sim/memmap.hh"
+#include "trace/trace.hh"
 #include "unit_mem.hh"
 
 namespace rtu {
@@ -78,6 +79,19 @@ class RtosUnit : public RtosUnitPort
     /** Advance one clock cycle (called after the core's tick). */
     void tick(Cycle now);
 
+    /**
+     * Phase tracing: @p clock is the simulation's cycle counter (so
+     * instruction-triggered phases like GET_HW_SCHED are stamped with
+     * the core's cycle, not the unit's last tick); @p observer
+     * receives store-done / sched-done / load-done boundaries.
+     */
+    void
+    setPhaseObserver(PhaseObserver *observer, const Cycle *clock)
+    {
+        phaseObserver_ = observer;
+        clock_ = clock;
+    }
+
     // ---- RtosUnitPort -------------------------------------------------
     void setContextId(Word id) override;
     Word getHwSched() override;
@@ -112,10 +126,14 @@ class RtosUnit : public RtosUnitPort
     void stepRestoreFsm();
     void stepPreloader();
     void abortPreload();
+    void notifyPhase(SwitchPhase phase);
 
     RtosUnitConfig config_;
     ArchState &state_;
     UnitMemPort &port_;
+
+    PhaseObserver *phaseObserver_ = nullptr;
+    const Cycle *clock_ = nullptr;
 
     HwReadyList ready_;
     HwDelayList delay_;

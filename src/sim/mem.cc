@@ -60,22 +60,33 @@ MemSystem::deviceAt(Addr addr)
     return nullptr;
 }
 
-Word
-MemSystem::read(Addr addr, MemSize size)
+MemDevice *
+MemSystem::route(Addr addr, MemSize size, const char *what)
 {
     MemDevice *d = deviceAt(addr);
     if (!d)
-        panic("read from unmapped address 0x%08x", addr);
-    return d->read(addr, size);
+        panic("%s at unmapped address 0x%08x", what, addr);
+    // The bus has no straddle support: an access must lie entirely
+    // within one device, else it would silently hit device-internal
+    // range asserts (or worse, split) — fail as a clean bus error.
+    const Addr last = addr + static_cast<Addr>(size) - 1;
+    if (!d->contains(last)) {
+        panic("%s [0x%08x,0x%08x] straddles the end of device '%s'",
+              what, addr, last, d->name().c_str());
+    }
+    return d;
+}
+
+Word
+MemSystem::read(Addr addr, MemSize size)
+{
+    return route(addr, size, "read")->read(addr, size);
 }
 
 void
 MemSystem::write(Addr addr, Word value, MemSize size)
 {
-    MemDevice *d = deviceAt(addr);
-    if (!d)
-        panic("write to unmapped address 0x%08x", addr);
-    d->write(addr, value, size);
+    route(addr, size, "write")->write(addr, value, size);
 }
 
 } // namespace rtu

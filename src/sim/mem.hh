@@ -81,6 +81,9 @@ class MemSystem
     MemDevice *deviceAt(Addr addr);
 
   private:
+    /** Route an access; panic on unmapped or device-straddling. */
+    MemDevice *route(Addr addr, MemSize size, const char *what);
+
     std::vector<MemDevice *> devices_;
 };
 

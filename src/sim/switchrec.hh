@@ -10,6 +10,17 @@
  * still executing ("queued") measure queueing delay on top of the
  * switching mechanism; they are excluded from latency statistics by
  * default (the paper's per-switch metric), but remain available.
+ *
+ * An episode cut short by a nested or back-to-back trap (a new trap
+ * taken before the episode's `mret`) is recorded truncated with the
+ * `preempted` flag set rather than silently dropped; preempted
+ * episodes never enter latency statistics because they have no mret
+ * end point.
+ *
+ * Each episode additionally carries the intermediate phase timestamps
+ * (store-done, sched-done, load-done) delivered through notePhase()
+ * by the hardware-unit hooks, and completed episodes are streamed to
+ * an optional TraceSink for JSONL/CSV export.
  */
 
 #ifndef RTU_SIM_SWITCHREC_HH
@@ -19,6 +30,7 @@
 
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "trace/trace.hh"
 
 namespace rtu {
 
@@ -27,13 +39,35 @@ struct SwitchRecord
     Word cause = 0;          ///< mcause of the triggering interrupt
     Cycle assertCycle = 0;   ///< interrupt line asserted
     Cycle entryCycle = 0;    ///< trap taken (handler starts)
+    Cycle storeDoneCycle = 0; ///< hardware store FSM drained (0: none)
+    Cycle schedDoneCycle = 0; ///< GET_HW_SCHED retired (0: none)
+    Cycle loadDoneCycle = 0;  ///< context restore complete (0: none)
     Cycle mretCycle = 0;     ///< mret completed
     Word fromTask = 0;
     Word toTask = 0;
     bool queued = false;     ///< asserted during a previous episode
+    bool preempted = false;  ///< truncated by a nested trap (no mret)
 
     Cycle latency() const { return mretCycle - assertCycle; }
     bool switchedTask() const { return fromTask != toTask; }
+
+    EpisodeTrace
+    toTrace() const
+    {
+        EpisodeTrace t;
+        t.cause = cause;
+        t.fromTask = fromTask;
+        t.toTask = toTask;
+        t.queued = queued;
+        t.preempted = preempted;
+        t.irqAssert = assertCycle;
+        t.trapTaken = entryCycle;
+        t.storeDone = storeDoneCycle;
+        t.schedDone = schedDoneCycle;
+        t.loadDone = loadDoneCycle;
+        t.mret = mretCycle;
+        return t;
+    }
 };
 
 class SwitchRecorder
@@ -43,6 +77,16 @@ class SwitchRecorder
     beginEpisode(Word cause, Cycle assert_cycle, Cycle entry_cycle,
                  Word from_task)
     {
+        if (inEpisode_) {
+            // A nested/back-to-back trap arrived before the episode's
+            // mret: keep the truncated record instead of losing it.
+            // Its end point is the preempting trap's entry; it never
+            // switched, so toTask mirrors fromTask.
+            current_.preempted = true;
+            current_.mretCycle = entry_cycle;
+            current_.toTask = current_.fromTask;
+            commit();
+        }
         current_ = SwitchRecord{};
         current_.cause = cause;
         current_.assertCycle = assert_cycle;
@@ -54,6 +98,36 @@ class SwitchRecorder
 
     bool inEpisode() const { return inEpisode_; }
 
+    /** Record an intermediate phase boundary of the running episode.
+     *  Phases reported outside an episode (e.g. speculative preload
+     *  traffic) are dropped. */
+    void
+    notePhase(SwitchPhase phase, Cycle cycle)
+    {
+        if (!inEpisode_)
+            return;
+        switch (phase) {
+          case SwitchPhase::kIrqAssert:
+            current_.assertCycle = cycle;
+            break;
+          case SwitchPhase::kTrapTaken:
+            current_.entryCycle = cycle;
+            break;
+          case SwitchPhase::kStoreDone:
+            current_.storeDoneCycle = cycle;
+            break;
+          case SwitchPhase::kSchedDone:
+            current_.schedDoneCycle = cycle;
+            break;
+          case SwitchPhase::kLoadDone:
+            current_.loadDoneCycle = cycle;
+            break;
+          case SwitchPhase::kMret:
+            current_.mretCycle = cycle;
+            break;
+        }
+    }
+
     void
     endEpisode(Cycle mret_cycle, Word to_task)
     {
@@ -63,16 +137,19 @@ class SwitchRecorder
             return;  // mret outside a recorded episode (boot path)
         current_.mretCycle = mret_cycle;
         current_.toTask = to_task;
-        records_.push_back(current_);
-        inEpisode_ = false;
+        commit();
     }
+
+    /** Stream completed episodes to @p sink (may be nullptr). */
+    void setSink(TraceSink *sink) { sink_ = sink; }
 
     const std::vector<SwitchRecord> &records() const { return records_; }
 
     /**
      * Latency statistics. @p switches_only drops same-task episodes;
      * @p include_queued admits episodes that waited behind another
-     * ISR.
+     * ISR. Preempted episodes are always excluded: they have no mret
+     * and therefore no complete switch latency.
      */
     SampleStats
     latencyStats(bool switches_only = true,
@@ -80,6 +157,8 @@ class SwitchRecorder
     {
         SampleStats s;
         for (const SwitchRecord &r : records_) {
+            if (r.preempted)
+                continue;
             if (switches_only && !r.switchedTask())
                 continue;
             if (!include_queued && r.queued)
@@ -90,11 +169,21 @@ class SwitchRecorder
     }
 
   private:
+    void
+    commit()
+    {
+        records_.push_back(current_);
+        inEpisode_ = false;
+        if (sink_)
+            sink_->episode(current_.toTrace());
+    }
+
     std::vector<SwitchRecord> records_;
     SwitchRecord current_{};
     bool inEpisode_ = false;
     Cycle lastMret_ = 0;
     bool haveLastMret_ = false;
+    TraceSink *sink_ = nullptr;
 };
 
 } // namespace rtu

@@ -1,0 +1,188 @@
+#include "sweep.hh"
+
+#include <atomic>
+#include <sstream>
+#include <thread>
+
+#include "common/logging.hh"
+#include "workloads/workloads.hh"
+
+namespace rtu {
+
+namespace {
+
+/** FNV-1a, the deterministic per-point seed function. */
+std::uint64_t
+fnv1a(const std::string &s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+} // namespace
+
+std::string
+SweepPoint::key() const
+{
+    std::ostringstream os;
+    os << coreKindName(core) << '/' << unit.name() << "/slots"
+       << unit.listSlots << '/' << workload << "/it" << iterations
+       << "/tp" << timerPeriodCycles << "/cq" << naxCtxQueueEntries;
+    return os.str();
+}
+
+std::vector<SweepPoint>
+SweepSpec::points() const
+{
+    rtu_assert(!cores.empty() && !units.empty() && !workloads.empty() &&
+               !timerPeriods.empty() && !ctxQueueDepths.empty(),
+               "sweep spec has an empty axis");
+    rtu_assert(iterations > 0,
+               "sweep spec needs at least one iteration per workload");
+    std::vector<SweepPoint> pts;
+    pts.reserve(cores.size() * units.size() * workloads.size() *
+                timerPeriods.size() * ctxQueueDepths.size());
+    for (CoreKind core : cores) {
+        for (const RtosUnitConfig &unit : units) {
+            for (const std::string &w : workloads) {
+                for (Word period : timerPeriods) {
+                    for (unsigned depth : ctxQueueDepths) {
+                        SweepPoint p;
+                        p.core = core;
+                        p.unit = unit;
+                        p.workload = w;
+                        p.iterations = iterations;
+                        p.timerPeriodCycles = period;
+                        p.naxCtxQueueEntries = depth;
+                        p.seed = fnv1a(p.key());
+                        pts.push_back(std::move(p));
+                    }
+                }
+            }
+        }
+    }
+    return pts;
+}
+
+SweepResult
+runSweepPoint(const SweepPoint &point, bool capture_trace)
+{
+    SweepResult out;
+    out.point = point;
+
+    const auto workload = makeWorkload(point.workload, point.iterations);
+
+    RunOptions opts;
+    opts.timerPeriodCycles = point.timerPeriodCycles;
+    opts.naxCtxQueueEntries = point.naxCtxQueueEntries;
+    opts.seed = point.seed;
+
+    if (capture_trace) {
+        std::ostringstream trace;
+        JsonlTraceSink sink(trace);
+        opts.sink = &sink;
+        out.run = runWorkload(point.core, point.unit, *workload, opts);
+        out.trace = trace.str();
+    } else {
+        out.run = runWorkload(point.core, point.unit, *workload, opts);
+    }
+    return out;
+}
+
+std::vector<SweepResult>
+SweepRunner::runPoints(const std::vector<SweepPoint> &pts,
+                       bool capture_trace) const
+{
+    std::vector<SweepResult> results(pts.size());
+    if (pts.empty())
+        return results;
+
+    const unsigned workers = std::max(1u,
+        std::min<unsigned>(threads_, static_cast<unsigned>(pts.size())));
+
+    if (workers == 1) {
+        for (size_t i = 0; i < pts.size(); ++i)
+            results[i] = runSweepPoint(pts[i], capture_trace);
+        return results;
+    }
+
+    // Lock-free collection: workers pull the next grid index from an
+    // atomic cursor and each writes only its own pre-sized slot, so
+    // the result order is the grid order whatever the interleaving.
+    std::atomic<size_t> cursor{0};
+    auto worker = [&]() {
+        for (;;) {
+            const size_t i = cursor.fetch_add(1,
+                                              std::memory_order_relaxed);
+            if (i >= pts.size())
+                return;
+            results[i] = runSweepPoint(pts[i], capture_trace);
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned t = 0; t < workers; ++t)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+    return results;
+}
+
+std::vector<SweepResult>
+SweepRunner::run(const SweepSpec &spec, bool capture_trace) const
+{
+    return runPoints(spec.points(), capture_trace);
+}
+
+void
+writeResultsJsonl(std::ostream &os,
+                  const std::vector<SweepResult> &results)
+{
+    for (const SweepResult &r : results) {
+        const RunResult &run = r.run;
+        os << "{\"core\":\"" << coreKindName(r.point.core)
+           << "\",\"config\":\"" << r.point.unit.name()
+           << "\",\"list_slots\":" << r.point.unit.listSlots
+           << ",\"workload\":\"" << r.point.workload
+           << "\",\"iterations\":" << r.point.iterations
+           << ",\"timer_period\":" << r.point.timerPeriodCycles
+           << ",\"ctxqueue\":" << r.point.naxCtxQueueEntries
+           << ",\"seed\":" << r.point.seed
+           << ",\"ok\":" << (run.ok ? "true" : "false")
+           << ",\"exit_code\":" << run.exitCode
+           << ",\"cycles\":" << run.cycles;
+        const SampleStats &s = run.switchLatency;
+        os << ",\"switches\":" << s.count();
+        if (!s.empty()) {
+            // Latencies are integral cycle counts; print them as such
+            // so the stream stays byte-stable across libc float
+            // formatting differences (mean gets a fixed precision).
+            const auto cy = [](double v) {
+                return static_cast<std::uint64_t>(v);
+            };
+            char mean[32];
+            std::snprintf(mean, sizeof(mean), "%.3f", s.mean());
+            os << ",\"lat_min\":" << cy(s.min())
+               << ",\"lat_mean\":" << mean
+               << ",\"lat_max\":" << cy(s.max())
+               << ",\"lat_jitter\":" << cy(s.jitter())
+               << ",\"lat_p50\":" << cy(s.percentile(0.5))
+               << ",\"lat_p99\":" << cy(s.percentile(0.99));
+        }
+        os << "}\n";
+    }
+}
+
+void
+writeTraceJsonl(std::ostream &os, const std::vector<SweepResult> &results)
+{
+    for (const SweepResult &r : results)
+        os << r.trace;
+}
+
+} // namespace rtu

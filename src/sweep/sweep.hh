@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Parallel experiment sweep engine.
+ *
+ * All of the paper's headline results (Fig. 9 latency/jitter, the
+ * S/L/T/D/O/P ablations, Tab. 1) are cross-products of
+ * {core} x {RTOSUnit feature set} x {workload} (x timer period
+ * x ctxQueue depth). A SweepSpec describes such a cartesian grid; a
+ * SweepRunner shards the resulting independent Simulation instances
+ * across a std::thread pool.
+ *
+ * Determinism contract: every grid point is an isolated, exact
+ * simulation keyed by a deterministic per-point seed, workers pull
+ * points from an atomic cursor and write into pre-sized, index-
+ * addressed slots (a lock-free collector — no mutex, no reordering),
+ * and results/traces are serialized in grid order afterwards. The
+ * same spec therefore produces byte-identical JSONL output at any
+ * thread count, while wall-clock scales with the pool size.
+ */
+
+#ifndef RTU_SWEEP_SWEEP_HH
+#define RTU_SWEEP_SWEEP_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "harness/experiment.hh"
+#include "trace/trace.hh"
+
+namespace rtu {
+
+/** One point of the cartesian grid: a single simulation run. */
+struct SweepPoint
+{
+    CoreKind core = CoreKind::kCv32e40p;
+    RtosUnitConfig unit;
+    std::string workload;
+    unsigned iterations = 20;
+    Word timerPeriodCycles = 1000;
+    unsigned naxCtxQueueEntries = 8;
+    /** Deterministic per-point seed (FNV-1a over the point's key). */
+    std::uint64_t seed = 0;
+
+    /** Stable human-readable key, also the seed's hash input. */
+    std::string key() const;
+};
+
+/** Cartesian grid specification. Empty axes are invalid. */
+struct SweepSpec
+{
+    std::vector<CoreKind> cores;
+    std::vector<RtosUnitConfig> units;
+    std::vector<std::string> workloads;
+    std::vector<Word> timerPeriods{1000};
+    std::vector<unsigned> ctxQueueDepths{8};
+    unsigned iterations = 20;
+
+    /**
+     * Expand to the full grid in a stable nesting order (core-major:
+     * core > unit > workload > period > depth), seeding each point.
+     */
+    std::vector<SweepPoint> points() const;
+};
+
+/** The outcome of one grid point, with its captured episode trace. */
+struct SweepResult
+{
+    SweepPoint point;
+    RunResult run;
+    /** JSONL episode trace of this point (empty unless captured). */
+    std::string trace;
+};
+
+class SweepRunner
+{
+  public:
+    /** @p threads == 0 or 1 runs serially on the calling thread. */
+    explicit SweepRunner(unsigned threads = 1) : threads_(threads) {}
+
+    /**
+     * Run every point of @p spec; results come back in grid order
+     * regardless of the thread count. @p capture_trace additionally
+     * records each point's per-episode JSONL trace.
+     */
+    std::vector<SweepResult> run(const SweepSpec &spec,
+                                 bool capture_trace = false) const;
+
+    /** Run an explicit point list (non-cartesian sweeps). */
+    std::vector<SweepResult> runPoints(const std::vector<SweepPoint> &pts,
+                                       bool capture_trace = false) const;
+
+    unsigned threads() const { return threads_; }
+
+  private:
+    unsigned threads_;
+};
+
+/** Execute a single grid point (what each worker runs). */
+SweepResult runSweepPoint(const SweepPoint &point, bool capture_trace);
+
+/** Serialize one result line per point (JSONL, deterministic). */
+void writeResultsJsonl(std::ostream &os,
+                       const std::vector<SweepResult> &results);
+
+/** Concatenate the captured per-point traces in grid order. */
+void writeTraceJsonl(std::ostream &os,
+                     const std::vector<SweepResult> &results);
+
+/** Merge switch-latency samples of a filtered result subset. */
+template <typename Pred>
+SampleStats
+mergeSweepLatencies(const std::vector<SweepResult> &results, Pred pred)
+{
+    SampleStats merged;
+    for (const SweepResult &r : results) {
+        if (pred(r))
+            merged.merge(r.run.switchLatency);
+    }
+    return merged;
+}
+
+} // namespace rtu
+
+#endif // RTU_SWEEP_SWEEP_HH

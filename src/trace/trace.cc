@@ -1,0 +1,90 @@
+#include "trace.hh"
+
+namespace rtu {
+
+const char *
+switchPhaseName(SwitchPhase phase)
+{
+    switch (phase) {
+      case SwitchPhase::kIrqAssert: return "irq_assert";
+      case SwitchPhase::kTrapTaken: return "trap_taken";
+      case SwitchPhase::kStoreDone: return "store_done";
+      case SwitchPhase::kSchedDone: return "sched_done";
+      case SwitchPhase::kLoadDone: return "load_done";
+      case SwitchPhase::kMret: return "mret";
+    }
+    return "?";
+}
+
+namespace {
+
+/** Minimal JSON string escaping (labels are plain identifiers). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+void
+JsonlTraceSink::beginRun(const TraceRunLabel &label)
+{
+    label_ = label;
+    index_ = 0;
+}
+
+void
+JsonlTraceSink::episode(const EpisodeTrace &e)
+{
+    os_ << "{\"core\":\"" << jsonEscape(label_.core)
+        << "\",\"config\":\"" << jsonEscape(label_.config)
+        << "\",\"workload\":\"" << jsonEscape(label_.workload)
+        << "\",\"seed\":" << label_.seed
+        << ",\"episode\":" << index_++
+        << ",\"cause\":" << e.cause
+        << ",\"from\":" << e.fromTask
+        << ",\"to\":" << e.toTask
+        << ",\"queued\":" << (e.queued ? "true" : "false")
+        << ",\"preempted\":" << (e.preempted ? "true" : "false")
+        << ",\"irq_assert\":" << e.irqAssert
+        << ",\"trap_taken\":" << e.trapTaken
+        << ",\"store_done\":" << e.storeDone
+        << ",\"sched_done\":" << e.schedDone
+        << ",\"load_done\":" << e.loadDone
+        << ",\"mret\":" << e.mret
+        << "}\n";
+}
+
+void
+CsvTraceSink::beginRun(const TraceRunLabel &label)
+{
+    label_ = label;
+    index_ = 0;
+    if (!headerWritten_) {
+        os_ << "core,config,workload,seed,episode,cause,from,to,queued,"
+               "preempted,irq_assert,trap_taken,store_done,sched_done,"
+               "load_done,mret\n";
+        headerWritten_ = true;
+    }
+}
+
+void
+CsvTraceSink::episode(const EpisodeTrace &e)
+{
+    os_ << label_.core << ',' << label_.config << ',' << label_.workload
+        << ',' << label_.seed << ',' << index_++ << ',' << e.cause << ','
+        << e.fromTask << ',' << e.toTask << ',' << (e.queued ? 1 : 0)
+        << ',' << (e.preempted ? 1 : 0) << ',' << e.irqAssert << ','
+        << e.trapTaken << ',' << e.storeDone << ',' << e.schedDone << ','
+        << e.loadDone << ',' << e.mret << '\n';
+}
+
+} // namespace rtu

@@ -300,6 +300,14 @@ standardSuite(unsigned iterations)
     return suite;
 }
 
+std::vector<std::string>
+standardWorkloadNames()
+{
+    return {"yield_pingpong", "round_robin",     "mutex_workload",
+            "delay_wake",     "sem_pingpong",    "priority_preempt",
+            "ext_interrupt"};
+}
+
 std::unique_ptr<Workload>
 makeWorkload(const std::string &name, unsigned iterations)
 {

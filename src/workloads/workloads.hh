@@ -72,6 +72,9 @@ std::unique_ptr<Workload> makeExtInterrupt(unsigned iterations);
 /** The full suite, in a stable order. */
 std::vector<std::unique_ptr<Workload>> standardSuite(unsigned iterations);
 
+/** Names of the standard suite, in the same stable order. */
+std::vector<std::string> standardWorkloadNames();
+
 /** Look a workload up by name (fatal when unknown). */
 std::unique_ptr<Workload> makeWorkload(const std::string &name,
                                        unsigned iterations);

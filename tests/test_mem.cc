@@ -51,6 +51,26 @@ TEST(MemSystemDeath, UnmappedAccessPanics)
     EXPECT_DEATH(sys.read32(0x42), "unmapped");
 }
 
+TEST(MemSystemDeath, StraddlingAccessIsACleanBusError)
+{
+    // A word access whose start lies in one device but whose last
+    // byte falls off its end must panic in the bus layer (clean
+    // error naming the range), not trip device-internal asserts.
+    Sram a("a", 0x0, 0x100);
+    Sram b("b", 0x1000, 0x100);
+    MemSystem sys;
+    sys.addDevice(&a);
+    sys.addDevice(&b);
+    EXPECT_DEATH(sys.read(0xFE, MemSize::kWord), "straddles");
+    EXPECT_DEATH(sys.write(0xFF, 1, MemSize::kHalf), "straddles");
+    EXPECT_DEATH(sys.read(0x10FE, MemSize::kWord), "straddles");
+    // The last in-bounds word access still works.
+    sys.write(0xFC, 0x11223344, MemSize::kWord);
+    EXPECT_EQ(sys.read(0xFC, MemSize::kWord), 0x11223344u);
+    // Byte access to the last device byte is fine.
+    EXPECT_EQ(sys.read(0xFF, MemSize::kByte), 0x11u);
+}
+
 TEST(SharedPort, CoreHasPriority)
 {
     SharedPort port("p");

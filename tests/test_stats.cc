@@ -48,6 +48,72 @@ TEST(SampleStats, PercentileOrderInsensitive)
     EXPECT_DOUBLE_EQ(s.percentile(1.0), 5.0);
 }
 
+TEST(SampleStats, PercentileTrueNearestRank)
+{
+    // Nearest-rank: the smallest sample with rank ceil(p*n).
+    SampleStats s;
+    for (double v : {15.0, 20.0, 35.0, 40.0, 50.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.percentile(0.30), 20.0);  // ceil(1.5) = rank 2
+    EXPECT_DOUBLE_EQ(s.percentile(0.40), 20.0);  // ceil(2.0) = rank 2
+    EXPECT_DOUBLE_EQ(s.percentile(0.50), 35.0);  // ceil(2.5) = rank 3
+    EXPECT_DOUBLE_EQ(s.percentile(1.00), 50.0);  // rank n
+    EXPECT_DOUBLE_EQ(s.percentile(0.00), 15.0);  // clamped to rank 1
+}
+
+TEST(SampleStats, PercentileSingleAndTwoSampleSets)
+{
+    SampleStats one;
+    one.add(7.0);
+    for (double p : {0.0, 0.25, 0.5, 0.99, 1.0})
+        EXPECT_DOUBLE_EQ(one.percentile(p), 7.0) << "p=" << p;
+
+    SampleStats two;
+    two.add(10.0);
+    two.add(2.0);
+    EXPECT_DOUBLE_EQ(two.percentile(0.0), 2.0);
+    EXPECT_DOUBLE_EQ(two.percentile(0.5), 2.0);   // rank ceil(1.0) = 1
+    EXPECT_DOUBLE_EQ(two.percentile(0.51), 10.0); // rank ceil(1.02) = 2
+    EXPECT_DOUBLE_EQ(two.percentile(1.0), 10.0);
+}
+
+TEST(SampleStats, PercentileCacheSurvivesInterleavedAdds)
+{
+    // The sorted view is cached; add() must invalidate it.
+    SampleStats s;
+    s.add(5.0);
+    EXPECT_DOUBLE_EQ(s.percentile(1.0), 5.0);
+    s.add(9.0);
+    EXPECT_DOUBLE_EQ(s.percentile(1.0), 9.0);
+    s.add(1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0.5), 5.0);
+}
+
+TEST(SampleStats, MergeUpdatesPercentilesAndExtremes)
+{
+    SampleStats a;
+    a.add(3.0);
+    SampleStats b;
+    b.add(1.0);
+    b.add(2.0);
+    EXPECT_DOUBLE_EQ(a.percentile(1.0), 3.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.min(), 1.0);
+    EXPECT_DOUBLE_EQ(a.max(), 3.0);
+    EXPECT_DOUBLE_EQ(a.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(a.percentile(1.0), 3.0);
+}
+
+TEST(SampleStatsDeath, PercentileOutOfRangePanics)
+{
+    SampleStats s;
+    s.add(1.0);
+    EXPECT_DEATH(s.percentile(-0.1), "out of");
+    EXPECT_DEATH(s.percentile(1.1), "out of");
+}
+
 TEST(SampleStats, StddevMatchesHandComputation)
 {
     SampleStats s;
