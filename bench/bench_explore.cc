@@ -1,0 +1,222 @@
+/**
+ * Co-exploration driver — the paper's titular contribution as a
+ * command-line query tool. Evaluates a {core} x {config} design grid
+ * end-to-end (simulated latency/jitter + static WCET joined with the
+ * analytical 22 nm area/f_max/power models), prints the Pareto
+ * frontier over the chosen objectives as a markdown table, and
+ * answers constrained queries ("minimize mean latency subject to
+ * area <= +35 %") the way the paper's Section 6.4 picks per-core
+ * recommendations.
+ *
+ * An analytical prefilter prunes points violating area/f_max bounds
+ * before simulation; a persistent result cache (--cache-dir) makes
+ * repeat explorations only simulate never-seen points.
+ *
+ * Usage: bench_explore [--cores cv32e40p,cva6,nax]
+ *                      [--configs vanilla,S,SLT,...]
+ *                      [--workloads w1,w2,...] [--iterations N]
+ *                      [--objectives lat_mean,jitter,area]
+ *                      [--constraint area<=1.35]... [--minimize OBJ]
+ *                      [--cache-dir DIR] [--threads N]
+ *                      [--out explore.json] [--md frontier.md]
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "explore/explorer.hh"
+#include "workloads/workloads.hh"
+
+using namespace rtu;
+
+namespace {
+
+std::vector<std::string>
+splitList(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(s);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        if (!item.empty())
+            out.push_back(item);
+    }
+    return out;
+}
+
+CoreKind
+coreFromName(const std::string &name)
+{
+    if (name == "cv32e40p")
+        return CoreKind::kCv32e40p;
+    if (name == "cva6")
+        return CoreKind::kCva6;
+    if (name == "nax" || name == "naxriscv")
+        return CoreKind::kNax;
+    fatal("unknown core '%s' (expected cv32e40p, cva6 or nax)",
+          name.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+
+    ExploreSpec spec;
+    spec.cores = {CoreKind::kCv32e40p, CoreKind::kCva6, CoreKind::kNax};
+    spec.units = RtosUnitConfig::latencyConfigs();
+
+    std::vector<Objective> objectives = {Objective::kLatMean,
+                                         Objective::kLatJitter,
+                                         Objective::kArea};
+    bool haveMinimize = false;
+    Objective minimize = Objective::kLatMean;
+    std::string out_path, md_path;
+
+    for (int i = 1; i < argc; ++i) {
+        const auto next = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc)
+                fatal("%s needs a value", flag);
+            return argv[++i];
+        };
+        if (!std::strcmp(argv[i], "--cores")) {
+            spec.cores.clear();
+            for (const std::string &n : splitList(next("--cores")))
+                spec.cores.push_back(coreFromName(n));
+        } else if (!std::strcmp(argv[i], "--configs")) {
+            spec.units.clear();
+            for (const std::string &n : splitList(next("--configs")))
+                spec.units.push_back(RtosUnitConfig::fromName(n));
+        } else if (!std::strcmp(argv[i], "--workloads")) {
+            spec.workloads = splitList(next("--workloads"));
+        } else if (!std::strcmp(argv[i], "--iterations")) {
+            spec.iterations = static_cast<unsigned>(
+                std::max(1, std::atoi(next("--iterations"))));
+        } else if (!std::strcmp(argv[i], "--threads")) {
+            spec.threads = static_cast<unsigned>(
+                std::max(1, std::atoi(next("--threads"))));
+        } else if (!std::strcmp(argv[i], "--objectives")) {
+            objectives.clear();
+            for (const std::string &n : splitList(next("--objectives")))
+                objectives.push_back(objectiveFromName(n));
+        } else if (!std::strcmp(argv[i], "--constraint")) {
+            spec.constraints.push_back(
+                parseConstraint(next("--constraint")));
+        } else if (!std::strcmp(argv[i], "--minimize")) {
+            minimize = objectiveFromName(next("--minimize"));
+            haveMinimize = true;
+        } else if (!std::strcmp(argv[i], "--cache-dir")) {
+            spec.cacheDir = next("--cache-dir");
+        } else if (!std::strcmp(argv[i], "--out")) {
+            out_path = next("--out");
+        } else if (!std::strcmp(argv[i], "--md")) {
+            md_path = next("--md");
+        } else if (!std::strcmp(argv[i], "--no-wcet")) {
+            spec.computeWcet = false;
+        } else {
+            fatal("unknown flag '%s'", argv[i]);
+        }
+    }
+    if (objectives.empty())
+        fatal("--objectives must name at least one objective");
+    // Constraints imply a query; default to the paper's primary
+    // objective when --minimize is not spelled out.
+    if (!spec.constraints.empty())
+        haveMinimize = true;
+
+    Explorer explorer(spec);
+    const std::vector<DesignEval> evals = explorer.evaluate();
+    const ExploreStats &stats = explorer.stats();
+
+    std::printf("Co-exploration: %zu design points (%zu pruned "
+                "analytically), %zu sweep points — %zu cache hits, "
+                "simulated %zu\n",
+                stats.designPoints, stats.prefiltered,
+                stats.sweepPoints, stats.cacheHits, stats.simulated);
+    if (!spec.cacheDir.empty())
+        std::printf("cache: %s (%zu entries)\n",
+                    explorer.cache().filePath().c_str(),
+                    explorer.cache().size());
+
+    std::printf("\nPareto frontier over {");
+    for (size_t i = 0; i < objectives.size(); ++i)
+        std::printf("%s%s", i ? ", " : "",
+                    objectiveName(objectives[i]));
+    std::printf("}:\n\n");
+
+    std::ostringstream md;
+    writeFrontierMarkdown(md, evals, objectives);
+    std::fputs(md.str().c_str(), stdout);
+
+    size_t best = SIZE_MAX;
+    if (haveMinimize) {
+        best = selectBest(evals, minimize, spec.constraints);
+        std::printf("\nquery: %s %s", objectiveMaximized(minimize)
+                        ? "maximize" : "minimize",
+                    objectiveName(minimize));
+        for (const Constraint &c : spec.constraints)
+            std::printf("  s.t. %s", c.str().c_str());
+        if (best == SIZE_MAX) {
+            std::printf("\n  -> no feasible design point\n");
+        } else {
+            const DesignEval &e = evals[best];
+            std::printf("\n  -> %s (%s): lat %.1f cy, jitter %.0f, "
+                        "area %.3fx, fmax %.2f GHz, power %.2f mW\n",
+                        e.id.unit.name().c_str(),
+                        coreKindName(e.id.core), e.latMean, e.latJitter,
+                        e.areaNorm, e.fmaxGHz, e.powerMw);
+        }
+        // Per-core recommendations, the way the paper's Section 6
+        // discussion picks one configuration per core.
+        std::printf("\nper-core best under the same query:\n");
+        for (CoreKind core : spec.cores) {
+            std::vector<Constraint> cs = spec.constraints;
+            size_t coreBest = SIZE_MAX;
+            double bestV = 0;
+            for (size_t i = 0; i < evals.size(); ++i) {
+                if (evals[i].id.core != core || !evals[i].ok)
+                    continue;
+                bool feas = true;
+                for (const Constraint &c : cs)
+                    feas = feas && c.satisfiedBy(evals[i]);
+                if (!feas)
+                    continue;
+                const double v = canonicalValue(evals[i], minimize);
+                if (coreBest == SIZE_MAX || v < bestV) {
+                    coreBest = i;
+                    bestV = v;
+                }
+            }
+            if (coreBest == SIZE_MAX) {
+                std::printf("  %-9s -> infeasible\n",
+                            coreKindName(core));
+            } else {
+                std::printf("  %-9s -> %s\n", coreKindName(core),
+                            evals[coreBest].id.unit.name().c_str());
+            }
+        }
+    }
+
+    if (!out_path.empty()) {
+        std::ofstream os(out_path);
+        if (!os)
+            fatal("cannot open --out file '%s'", out_path.c_str());
+        writeExploreJson(os, spec, evals, objectives, stats, best);
+        std::printf("\njson: %s\n", out_path.c_str());
+    }
+    if (!md_path.empty()) {
+        std::ofstream os(md_path);
+        if (!os)
+            fatal("cannot open --md file '%s'", md_path.c_str());
+        os << md.str();
+        std::printf("markdown: %s\n", md_path.c_str());
+    }
+    return 0;
+}

@@ -3,19 +3,41 @@
  * every RTOSUnit configuration, with absolute areas (the paper prints
  * them above the bars) and the per-structure breakdown the analytical
  * model accounts.
+ *
+ * Usage: bench_fig10_area [--breakdown] [--out area.jsonl]
  */
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
 
 #include "asic/asic.hh"
+#include "common/json.hh"
+#include "common/logging.hh"
 
 using namespace rtu;
 
 int
 main(int argc, char **argv)
 {
-    const bool breakdown = argc > 1 &&
-                           std::string(argv[1]) == "--breakdown";
+    bool breakdown = false;
+    std::string out_path;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--breakdown"))
+            breakdown = true;
+        else if (!std::strcmp(argv[i], "--out") && i + 1 < argc)
+            out_path = argv[++i];
+        else
+            fatal("unknown flag '%s'", argv[i]);
+    }
+
+    std::ofstream os;
+    if (!out_path.empty()) {
+        os.open(out_path);
+        if (!os)
+            fatal("cannot open --out file '%s'", out_path.c_str());
+    }
 
     std::printf("Figure 10: normalized ASIC area w.r.t. each core's "
                 "baseline (22 nm model)\n");
@@ -36,10 +58,23 @@ main(int argc, char **argv)
                                     name.c_str(), ge / 1000.0);
                 }
             }
+            if (os.is_open()) {
+                char buf[256];
+                std::snprintf(buf, sizeof(buf),
+                              "{\"core\":\"%s\",\"config\":\"%s\","
+                              "\"norm\":%.6f,\"area_mm2\":%.6f,"
+                              "\"total_ge\":%.1f}\n",
+                              coreKindName(core),
+                              jsonEscape(cfg.name()).c_str(),
+                              a.normalized, a.areaMm2, a.totalGE);
+                os << buf;
+            }
         }
     }
     std::printf("\npaper anchors: CV32E40P S +21.9%%, CV32RT +21.2%%, "
                 "T ~0%%, ST +33%%, SPLIT +44%%; CVA6 S +3-5%%; "
                 "NaxRiscv S ~15%%, CV32RT +19%%\n");
+    if (os.is_open())
+        std::printf("results: %s\n", out_path.c_str());
     return 0;
 }

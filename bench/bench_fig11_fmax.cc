@@ -1,17 +1,39 @@
 /**
  * Figure 11 reproduction: achievable ASIC frequency of each core
  * under every RTOSUnit configuration (22 nm critical-path model).
+ *
+ * Usage: bench_fig11_fmax [--out fmax.jsonl]
  */
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
 
 #include "asic/asic.hh"
+#include "common/json.hh"
+#include "common/logging.hh"
 
 using namespace rtu;
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string out_path;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--out") && i + 1 < argc)
+            out_path = argv[++i];
+        else
+            fatal("unknown flag '%s'", argv[i]);
+    }
+
+    std::ofstream os;
+    if (!out_path.empty()) {
+        os.open(out_path);
+        if (!os)
+            fatal("cannot open --out file '%s'", out_path.c_str());
+    }
+
     std::printf("Figure 11: ASIC f_max under RTOSUnit "
                 "configurations (GHz)\n\n");
     std::printf("%-9s", "config");
@@ -29,11 +51,23 @@ main()
             const double f = AsicModel::fmaxGHz(core, cfg);
             std::printf("  %5.2f (%+4.0f%%)", f,
                         100.0 * (f / base - 1.0));
+            if (os.is_open()) {
+                char buf[256];
+                std::snprintf(buf, sizeof(buf),
+                              "{\"core\":\"%s\",\"config\":\"%s\","
+                              "\"fmax_ghz\":%.6f,\"delta_pct\":%.3f}\n",
+                              coreKindName(core),
+                              jsonEscape(cfg.name()).c_str(), f,
+                              100.0 * (f / base - 1.0));
+                os << buf;
+            }
         }
         std::printf("\n");
     }
     std::printf("\npaper anchors: CV32E40P ~-15%% on all RTOSUnit "
                 "configs (CV32RT unaffected); CVA6 ~-8%%; NaxRiscv "
                 "stable, SPLIT -4%%\n");
+    if (os.is_open())
+        std::printf("results: %s\n", out_path.c_str());
     return 0;
 }

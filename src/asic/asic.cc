@@ -31,7 +31,10 @@ factorsFor(CoreKind core)
 {
     switch (core) {
       case CoreKind::kCv32e40p:
-        return {tech::kCv32e40pBaseGE, 1.55, 0, 800, 500, 6'500, 800,
+        // schedStoreGE recalibrated against the paper's Fig 10
+        // anchors (ST +33 %, SLT +31..33 % on CV32E40P): 6.5 kGE
+        // overshot both to ~+36 %.
+        return {tech::kCv32e40pBaseGE, 1.55, 0, 800, 500, 5'000, 800,
                 8'000};
       case CoreKind::kCva6:
         // CVA6's SWITCH_RF hazard logic makes (S*) cost more than the

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * JSON string escaping shared by every JSONL writer in the tree
+ * (sweep results, episode traces, the explorer's persistent result
+ * cache). Workload names and cache keys flow into these streams; one
+ * audited helper keeps them well-formed everywhere.
+ */
+
+#ifndef RTU_COMMON_JSON_HH
+#define RTU_COMMON_JSON_HH
+
+#include <string>
+
+namespace rtu {
+
+/**
+ * Escape @p s for embedding inside a JSON string literal: quote,
+ * backslash, and all control characters below 0x20 (named escapes for
+ * \b \t \n \f \r, \u00XX otherwise). Non-ASCII bytes pass through
+ * untouched (JSON is UTF-8).
+ */
+std::string jsonEscape(const std::string &s);
+
+/**
+ * Inverse of jsonEscape for reading our own JSONL back (the result
+ * cache). Handles the two-character escapes plus \uXXXX (encoded as
+ * UTF-8). Malformed trailing escapes are kept verbatim rather than
+ * dropped, so corrupt cache lines fail key comparison instead of
+ * aliasing another key.
+ */
+std::string jsonUnescape(const std::string &s);
+
+} // namespace rtu
+
+#endif // RTU_COMMON_JSON_HH

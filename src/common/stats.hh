@@ -94,11 +94,26 @@ class SampleStats
 
     const std::vector<double> &samples() const { return samples_; }
 
+    /**
+     * Bulk-append @p other's samples. Equivalent to add()ing them
+     * one by one but with a single reserve, one sort-cache
+     * invalidation and O(1) aggregate updates — the explorer merges
+     * many per-workload result sets per design point. Index-based
+     * copy after the reserve keeps self-merge well-defined.
+     */
     void
     merge(const SampleStats &other)
     {
-        for (double v : other.samples_)
-            add(v);
+        const size_t n = other.samples_.size();
+        if (n == 0)
+            return;
+        samples_.reserve(samples_.size() + n);
+        for (size_t i = 0; i < n; ++i)
+            samples_.push_back(other.samples_[i]);
+        sortedValid_ = false;
+        sum_ += other.sum_;
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
     }
 
   private:

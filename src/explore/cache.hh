@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Persistent, content-addressed result cache for the co-exploration
+ * engine. One JSONL line per simulated sweep point, keyed by
+ * SweepPoint::key() (which encodes every axis that can change the
+ * result: core, configuration, list slots, workload, iterations,
+ * timer period, ctxQueue depth) plus a schema/version stamp. Repeat
+ * explorations — different constraints, different objective subsets,
+ * larger grids — only simulate points the cache has never seen; a
+ * warm-cache exploration is pure file I/O.
+ *
+ * Entries whose schema stamp differs from the current writer are
+ * skipped on load (never deleted): bumping kSchemaVersion invalidates
+ * the cache without destroying files a newer binary may still read.
+ * Corrupt or truncated lines are skipped with a warning.
+ */
+
+#ifndef RTU_EXPLORE_CACHE_HH
+#define RTU_EXPLORE_CACHE_HH
+
+#include <map>
+#include <string>
+
+#include "harness/experiment.hh"
+#include "sweep/sweep.hh"
+
+namespace rtu {
+
+/** The cached outcome of one sweep point: everything the explorer's
+ *  objective joining needs, nothing else (no traces, no core stats). */
+struct CachedRun
+{
+    bool ok = false;
+    Word exitCode = 0;
+    Cycle cycles = 0;
+    std::vector<double> switchSamples;  ///< per-switch latencies
+    ActivityCounters activity;          ///< feeds the power model
+};
+
+class ResultCache
+{
+  public:
+    /** Bump when CachedRun's serialized fields change meaning. */
+    static constexpr unsigned kSchemaVersion = 1;
+
+    /** @p dir empty disables persistence (pure in-memory run). The
+     *  directory is created on demand; existing entries are loaded. */
+    explicit ResultCache(const std::string &dir);
+
+    bool persistent() const { return !dir_.empty(); }
+
+    /** Number of loaded + inserted entries. */
+    size_t size() const { return entries_.size(); }
+
+    bool lookup(const SweepPoint &point, CachedRun *out) const;
+
+    /** Record @p run under @p point's key, appending to disk when
+     *  persistent. Overwrites an in-memory entry with the same key. */
+    void insert(const SweepPoint &point, const CachedRun &run);
+
+    /** Extract the cacheable subset of a fresh simulation result. */
+    static CachedRun fromRunResult(const RunResult &run);
+
+    /** The on-disk JSONL file backing this cache. */
+    std::string filePath() const;
+
+  private:
+    void load();
+    void append(const std::string &key, const CachedRun &run);
+
+    std::string dir_;
+    std::map<std::string, CachedRun> entries_;
+};
+
+} // namespace rtu
+
+#endif // RTU_EXPLORE_CACHE_HH

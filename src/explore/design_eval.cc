@@ -1,0 +1,17 @@
+#include "design_eval.hh"
+
+#include <sstream>
+
+namespace rtu {
+
+std::string
+DesignId::key() const
+{
+    std::ostringstream os;
+    os << coreKindName(core) << '/' << unit.name() << "/slots"
+       << unit.listSlots << "/cq" << ctxQueueEntries << "/tp"
+       << timerPeriodCycles << "/it" << iterations;
+    return os.str();
+}
+
+} // namespace rtu

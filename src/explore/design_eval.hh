@@ -1,0 +1,74 @@
+/**
+ * @file
+ * One co-design candidate evaluated end-to-end: the latency/jitter
+ * side from simulation (merged over the workload suite, WCET from
+ * static analysis where available) joined with the implementation
+ * side from the analytical 22 nm models — the objective vector the
+ * paper's co-exploration trades over.
+ */
+
+#ifndef RTU_EXPLORE_DESIGN_EVAL_HH
+#define RTU_EXPLORE_DESIGN_EVAL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "harness/simulation.hh"
+#include "rtosunit/config.hh"
+
+namespace rtu {
+
+/**
+ * Identity of one design point: the sweep axes minus the workload
+ * (latency statistics merge across the whole workload list, as the
+ * paper's per-configuration numbers do).
+ */
+struct DesignId
+{
+    CoreKind core = CoreKind::kCv32e40p;
+    RtosUnitConfig unit;  ///< includes listSlots
+    unsigned ctxQueueEntries = 8;
+    Word timerPeriodCycles = 1000;
+    unsigned iterations = 20;
+
+    /** Stable human-readable key (grouping and report labels). */
+    std::string key() const;
+
+    bool
+    operator==(const DesignId &o) const
+    {
+        return core == o.core && unit == o.unit &&
+               ctxQueueEntries == o.ctxQueueEntries &&
+               timerPeriodCycles == o.timerPeriodCycles &&
+               iterations == o.iterations;
+    }
+};
+
+/** The joined objective vector of one design point. */
+struct DesignEval
+{
+    DesignId id;
+    bool ok = false;  ///< every contributing simulation exited cleanly
+
+    // Latency side (switch episodes merged over the workload list).
+    double latMean = 0;
+    double latJitter = 0;
+    double latMin = 0;
+    double latMax = 0;
+    double latP99 = 0;
+    std::uint64_t switches = 0;
+
+    // Static worst case (CV32E40P only, as in the paper's §6.2).
+    bool hasWcet = false;
+    double wcetCycles = 0;
+
+    // Implementation side (analytical 22 nm models).
+    double areaNorm = 1.0;  ///< vs the same core's vanilla build
+    double areaMm2 = 0;
+    double fmaxGHz = 0;
+    double powerMw = 0;  ///< on the paper's power workload @ 500 MHz
+};
+
+} // namespace rtu
+
+#endif // RTU_EXPLORE_DESIGN_EVAL_HH

@@ -1,0 +1,347 @@
+#include "explorer.hh"
+
+#include <cstdio>
+
+#include "asic/asic.hh"
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "kernel/kernel.hh"
+#include "wcet/wcet.hh"
+#include "workloads/workloads.hh"
+
+namespace rtu {
+
+namespace {
+
+/** The paper measures power on mutex_workload; fall back to the
+ *  first workload when the spec doesn't include it. */
+const std::string &
+powerWorkload(const std::vector<std::string> &workloads)
+{
+    for (const std::string &w : workloads) {
+        if (w == "mutex_workload")
+            return w;
+    }
+    return workloads.front();
+}
+
+SampleStats
+statsOf(const CachedRun &run)
+{
+    SampleStats s;
+    for (double v : run.switchSamples)
+        s.add(v);
+    return s;
+}
+
+} // namespace
+
+Explorer::Explorer(const ExploreSpec &spec)
+    : spec_(spec), cache_(spec.cacheDir)
+{
+    rtu_assert(!spec_.cores.empty() && !spec_.units.empty(),
+               "explore spec has an empty core or config axis");
+    rtu_assert(!spec_.ctxQueueDepths.empty(),
+               "explore spec has an empty ctxQueue axis");
+    rtu_assert(spec_.iterations > 0,
+               "explore spec needs at least one iteration");
+    if (spec_.workloads.empty())
+        spec_.workloads = standardWorkloadNames();
+}
+
+std::vector<DesignId>
+Explorer::designGrid() const
+{
+    std::vector<DesignId> grid;
+    for (CoreKind core : spec_.cores) {
+        for (const RtosUnitConfig &unit : spec_.units) {
+            // The ctxQueue is a NaxRiscv LSU structure; other cores
+            // would evaluate identical duplicates per depth.
+            const bool depthMatters = core == CoreKind::kNax;
+            for (unsigned depth : spec_.ctxQueueDepths) {
+                DesignId id;
+                id.core = core;
+                id.unit = unit;
+                id.ctxQueueEntries = depth;
+                id.timerPeriodCycles = spec_.timerPeriodCycles;
+                id.iterations = spec_.iterations;
+                grid.push_back(id);
+                if (!depthMatters)
+                    break;
+            }
+        }
+    }
+    return grid;
+}
+
+double
+Explorer::wcetFor(const DesignId &id) const
+{
+    const std::string memoKey =
+        id.unit.name() + "/" + std::to_string(id.unit.listSlots);
+    const auto it = wcetMemo_.find(memoKey);
+    if (it != wcetMemo_.end())
+        return it->second;
+
+    // Same maximally-loaded setup as bench_wcet_table: up to eight
+    // TCBs moving through the lists, external path enabled.
+    KernelParams kp;
+    kp.unit = id.unit;
+    kp.usesExternalIrq = true;
+    KernelBuilder kb(kp);
+    const auto w = makeDelayWake(1);
+    w->addTasks(kb);
+    const Program program = kb.build();
+
+    WcetAnalyzer analyzer(program, id.unit);
+    const double wcet =
+        static_cast<double>(analyzer.analyzeIsr().totalCycles);
+    wcetMemo_[memoKey] = wcet;
+    return wcet;
+}
+
+DesignEval
+Explorer::join(const DesignId &id,
+               const std::vector<CachedRun> &runs) const
+{
+    DesignEval e;
+    e.id = id;
+
+    const AreaResult area = AsicModel::area(id.core, id.unit);
+    e.areaNorm = area.normalized;
+    e.areaMm2 = area.areaMm2;
+    e.fmaxGHz = AsicModel::fmaxGHz(id.core, id.unit);
+
+    bool ok = !runs.empty();
+    SampleStats merged;
+    for (const CachedRun &r : runs) {
+        ok = ok && r.ok;
+        merged.merge(statsOf(r));
+    }
+    e.ok = ok && !merged.empty();
+    if (!merged.empty()) {
+        e.latMean = merged.mean();
+        e.latJitter = merged.jitter();
+        e.latMin = merged.min();
+        e.latMax = merged.max();
+        e.latP99 = merged.percentile(0.99);
+        e.switches = merged.count();
+    }
+
+    // Power from the measured activity of the paper's power workload.
+    const size_t powerIdx =
+        &powerWorkload(spec_.workloads) - spec_.workloads.data();
+    if (powerIdx < runs.size() &&
+        runs[powerIdx].activity.cycles > 0) {
+        e.powerMw = AsicModel::power(id.core, id.unit,
+                                     runs[powerIdx].activity,
+                                     spec_.powerFreqMhz)
+                        .totalMw();
+    }
+
+    if (spec_.computeWcet && id.core == CoreKind::kCv32e40p) {
+        e.wcetCycles = wcetFor(id);
+        e.hasWcet = true;
+    }
+    return e;
+}
+
+std::vector<DesignEval>
+Explorer::evaluate()
+{
+    stats_ = ExploreStats();
+    const std::vector<DesignId> grid = designGrid();
+    stats_.designPoints = grid.size();
+
+    // (4) Analytical prefilter: area/f_max bounds need no simulation;
+    // points violating them never reach the runner.
+    std::vector<Constraint> analytic;
+    for (const Constraint &c : spec_.constraints) {
+        if (c.analytic())
+            analytic.push_back(c);
+    }
+    std::vector<DesignId> survivors;
+    for (const DesignId &id : grid) {
+        DesignEval shell;
+        shell.id = id;
+        const AreaResult area = AsicModel::area(id.core, id.unit);
+        shell.areaNorm = area.normalized;
+        shell.fmaxGHz = AsicModel::fmaxGHz(id.core, id.unit);
+        bool keep = true;
+        for (const Constraint &c : analytic)
+            keep = keep && c.satisfiedBy(shell);
+        if (keep)
+            survivors.push_back(id);
+        else
+            ++stats_.prefiltered;
+    }
+    if (stats_.prefiltered > 0) {
+        inform("explore: analytical prefilter pruned %zu of %zu design "
+               "points before simulation",
+               stats_.prefiltered, stats_.designPoints);
+    }
+
+    // (3) Cache-aware result gathering: only unseen points simulate.
+    auto sweepPointFor = [&](const DesignId &id, const std::string &w) {
+        SweepPoint p;
+        p.core = id.core;
+        p.unit = id.unit;
+        p.workload = w;
+        p.iterations = id.iterations;
+        p.timerPeriodCycles = id.timerPeriodCycles;
+        p.naxCtxQueueEntries = id.ctxQueueEntries;
+        p.reseed();
+        return p;
+    };
+
+    std::vector<SweepPoint> missing;
+    for (const DesignId &id : survivors) {
+        for (const std::string &w : spec_.workloads) {
+            ++stats_.sweepPoints;
+            const SweepPoint p = sweepPointFor(id, w);
+            CachedRun cached;
+            if (cache_.lookup(p, &cached))
+                ++stats_.cacheHits;
+            else
+                missing.push_back(p);
+        }
+    }
+
+    if (!missing.empty()) {
+        const SweepRunner runner(spec_.threads);
+        const std::vector<SweepResult> fresh = runner.runPoints(missing);
+        stats_.simulated = fresh.size();
+        for (const SweepResult &r : fresh)
+            cache_.insert(r.point, ResultCache::fromRunResult(r.run));
+    }
+
+    // (1) Join both sides into one objective vector per design point.
+    std::vector<DesignEval> evals;
+    evals.reserve(survivors.size());
+    for (const DesignId &id : survivors) {
+        std::vector<CachedRun> runs;
+        runs.reserve(spec_.workloads.size());
+        for (const std::string &w : spec_.workloads) {
+            CachedRun cached;
+            const bool hit = cache_.lookup(sweepPointFor(id, w), &cached);
+            rtu_assert(hit, "sweep point vanished from the cache");
+            runs.push_back(std::move(cached));
+        }
+        evals.push_back(join(id, runs));
+    }
+    return evals;
+}
+
+namespace {
+
+/** Byte-stable numeric formatting per objective (cycle quantities
+ *  print integrally, model outputs with fixed precision). */
+std::string
+formatObjective(const DesignEval &e, Objective o)
+{
+    const double v = objectiveValue(e, o);
+    switch (o) {
+      case Objective::kLatMean:
+        return csprintf("%.3f", v);
+      case Objective::kLatJitter:
+        return csprintf("%.0f", v);
+      case Objective::kWcet:
+        return e.hasWcet ? csprintf("%.0f", v) : std::string("null");
+      case Objective::kArea:
+        return csprintf("%.4f", v);
+      case Objective::kFmax:
+        return csprintf("%.3f", v);
+      case Objective::kPower:
+        return csprintf("%.3f", v);
+    }
+    panic("unknown objective");
+}
+
+void
+writeEvalJson(std::ostream &os, const DesignEval &e)
+{
+    os << "{\"key\":\"" << jsonEscape(e.id.key())
+       << "\",\"core\":\"" << jsonEscape(coreKindName(e.id.core))
+       << "\",\"config\":\"" << jsonEscape(e.id.unit.name())
+       << "\",\"list_slots\":" << e.id.unit.listSlots
+       << ",\"ctxqueue\":" << e.id.ctxQueueEntries
+       << ",\"ok\":" << (e.ok ? "true" : "false")
+       << ",\"lat_mean\":" << formatObjective(e, Objective::kLatMean)
+       << ",\"jitter\":" << formatObjective(e, Objective::kLatJitter)
+       << ",\"lat_min\":" << csprintf("%.0f", e.latMin)
+       << ",\"lat_max\":" << csprintf("%.0f", e.latMax)
+       << ",\"lat_p99\":" << csprintf("%.0f", e.latP99)
+       << ",\"switches\":" << e.switches
+       << ",\"wcet\":" << formatObjective(e, Objective::kWcet)
+       << ",\"area\":" << formatObjective(e, Objective::kArea)
+       << ",\"area_mm2\":" << csprintf("%.5f", e.areaMm2)
+       << ",\"fmax\":" << formatObjective(e, Objective::kFmax)
+       << ",\"power\":" << formatObjective(e, Objective::kPower)
+       << "}";
+}
+
+} // namespace
+
+void
+writeExploreJson(std::ostream &os, const ExploreSpec &spec,
+                 const std::vector<DesignEval> &evals,
+                 const std::vector<Objective> &objs,
+                 const ExploreStats &stats, size_t best)
+{
+    os << "{\"stats\":{\"design_points\":" << stats.designPoints
+       << ",\"prefiltered\":" << stats.prefiltered
+       << ",\"sweep_points\":" << stats.sweepPoints
+       << ",\"cache_hits\":" << stats.cacheHits
+       << ",\"simulated\":" << stats.simulated << "}";
+
+    os << ",\"objectives\":[";
+    for (size_t i = 0; i < objs.size(); ++i) {
+        os << (i ? "," : "") << "\"" << objectiveName(objs[i]) << "\"";
+    }
+    os << "],\"constraints\":[";
+    for (size_t i = 0; i < spec.constraints.size(); ++i) {
+        os << (i ? "," : "") << "\""
+           << jsonEscape(spec.constraints[i].str()) << "\"";
+    }
+    os << "],\"evals\":[";
+    for (size_t i = 0; i < evals.size(); ++i) {
+        os << (i ? "," : "");
+        writeEvalJson(os, evals[i]);
+    }
+    os << "],\"frontier\":[";
+    const std::vector<size_t> front = paretoFrontier(evals, objs);
+    for (size_t i = 0; i < front.size(); ++i)
+        os << (i ? "," : "") << front[i];
+    os << "],\"best\":";
+    if (best == SIZE_MAX) {
+        os << "null";
+    } else {
+        rtu_assert(best < evals.size(), "selection index out of range");
+        writeEvalJson(os, evals[best]);
+    }
+    os << "}\n";
+}
+
+void
+writeFrontierMarkdown(std::ostream &os,
+                      const std::vector<DesignEval> &evals,
+                      const std::vector<Objective> &objs)
+{
+    os << "| core | config | slots |";
+    for (Objective o : objs)
+        os << ' ' << objectiveName(o) << " |";
+    os << "\n|---|---|---|";
+    for (size_t i = 0; i < objs.size(); ++i)
+        os << "---|";
+    os << "\n";
+    for (size_t i : paretoFrontier(evals, objs)) {
+        const DesignEval &e = evals[i];
+        os << "| " << coreKindName(e.id.core) << " | "
+           << e.id.unit.name() << " | " << e.id.unit.listSlots << " |";
+        for (Objective o : objs)
+            os << ' ' << formatObjective(e, o) << " |";
+        os << "\n";
+    }
+}
+
+} // namespace rtu

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The co-exploration engine — the paper's titular contribution as a
+ * reusable query layer. An ExploreSpec names a design grid
+ * ({core} x {RTOSUnit config} x {ctxQueue depth}, each evaluated over
+ * a workload list); Explorer::evaluate() produces one DesignEval per
+ * design point, joining simulated latency/jitter (and static WCET
+ * where available) with the analytical area/f_max/power models.
+ *
+ * Three things make repeated exploration cheap:
+ *  - an analytical prefilter drops design points that already violate
+ *    an area/f_max constraint before any simulation is spent;
+ *  - a persistent result cache (cache.hh) keyed by sweep-point
+ *    content means only never-seen points simulate;
+ *  - the surviving misses run through the same SweepRunner thread
+ *    pool the figure benches use — one evaluation path, shared.
+ *
+ * Determinism: evaluations come back in grid order, every simulation
+ * is exact, and cache entries store the raw per-switch samples — a
+ * warm-cache exploration reproduces a cold one byte for byte.
+ */
+
+#ifndef RTU_EXPLORE_EXPLORER_HH
+#define RTU_EXPLORE_EXPLORER_HH
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "cache.hh"
+#include "design_eval.hh"
+#include "pareto.hh"
+
+namespace rtu {
+
+struct ExploreSpec
+{
+    std::vector<CoreKind> cores;
+    std::vector<RtosUnitConfig> units;
+    /** Latency workloads; empty means the full standard suite. */
+    std::vector<std::string> workloads;
+    std::vector<unsigned> ctxQueueDepths{8};
+    unsigned iterations = 20;
+    Word timerPeriodCycles = 1000;
+
+    /** Feasibility bounds. Analytic ones (area, f_max) also prune
+     *  the grid before simulation. */
+    std::vector<Constraint> constraints;
+
+    unsigned threads = 1;
+    /** Cache directory; empty runs without persistence. */
+    std::string cacheDir;
+    /** Compute the static WCET objective (CV32E40P points only). */
+    bool computeWcet = true;
+    /** Frequency for the power objective (paper: 500 MHz). */
+    double powerFreqMhz = 500.0;
+};
+
+/** Work accounting of one evaluate() call (logged and tested). */
+struct ExploreStats
+{
+    size_t designPoints = 0;  ///< grid size before pruning
+    size_t prefiltered = 0;   ///< pruned by analytic constraints
+    size_t sweepPoints = 0;   ///< (design x workload) results needed
+    size_t cacheHits = 0;     ///< served from the result cache
+    size_t simulated = 0;     ///< actually simulated this call
+};
+
+class Explorer
+{
+  public:
+    explicit Explorer(const ExploreSpec &spec);
+
+    /**
+     * Evaluate every non-pruned design point (cache-aware), in grid
+     * order (core > unit > depth). Analytically pruned points are
+     * absent from the result.
+     */
+    std::vector<DesignEval> evaluate();
+
+    const ExploreStats &stats() const { return stats_; }
+    const ResultCache &cache() const { return cache_; }
+
+  private:
+    std::vector<DesignId> designGrid() const;
+    DesignEval join(const DesignId &id,
+                    const std::vector<CachedRun> &runs) const;
+    double wcetFor(const DesignId &id) const;
+
+    ExploreSpec spec_;
+    ResultCache cache_;
+    ExploreStats stats_;
+    /** Memoized static analysis (pure function of the config). */
+    mutable std::map<std::string, double> wcetMemo_;
+};
+
+/**
+ * JSON report: explore stats, every evaluation, the Pareto frontier
+ * over @p objs and (when @p best != SIZE_MAX) the constrained-query
+ * selection. Deterministic byte-stable output.
+ */
+void writeExploreJson(std::ostream &os, const ExploreSpec &spec,
+                      const std::vector<DesignEval> &evals,
+                      const std::vector<Objective> &objs,
+                      const ExploreStats &stats, size_t best);
+
+/** Markdown frontier table over @p objs (frontier rows only). */
+void writeFrontierMarkdown(std::ostream &os,
+                           const std::vector<DesignEval> &evals,
+                           const std::vector<Objective> &objs);
+
+} // namespace rtu
+
+#endif // RTU_EXPLORE_EXPLORER_HH

@@ -1,0 +1,226 @@
+#include "pareto.hh"
+
+#include <cstdlib>
+#include <limits>
+
+#include "asic/asic.hh"
+#include "common/logging.hh"
+
+namespace rtu {
+
+const char *
+objectiveName(Objective o)
+{
+    switch (o) {
+      case Objective::kLatMean: return "lat_mean";
+      case Objective::kLatJitter: return "jitter";
+      case Objective::kWcet: return "wcet";
+      case Objective::kArea: return "area";
+      case Objective::kFmax: return "fmax";
+      case Objective::kPower: return "power";
+    }
+    return "?";
+}
+
+Objective
+objectiveFromName(const std::string &name)
+{
+    for (Objective o : {Objective::kLatMean, Objective::kLatJitter,
+                        Objective::kWcet, Objective::kArea,
+                        Objective::kFmax, Objective::kPower}) {
+        if (name == objectiveName(o))
+            return o;
+    }
+    fatal("unknown objective '%s' (expected lat_mean, jitter, wcet, "
+          "area, fmax or power)", name.c_str());
+}
+
+bool
+objectiveMaximized(Objective o)
+{
+    return o == Objective::kFmax;
+}
+
+double
+objectiveValue(const DesignEval &e, Objective o)
+{
+    switch (o) {
+      case Objective::kLatMean: return e.latMean;
+      case Objective::kLatJitter: return e.latJitter;
+      case Objective::kWcet: return e.wcetCycles;
+      case Objective::kArea: return e.areaNorm;
+      case Objective::kFmax: return e.fmaxGHz;
+      case Objective::kPower: return e.powerMw;
+    }
+    panic("unknown objective");
+}
+
+double
+canonicalValue(const DesignEval &e, Objective o)
+{
+    if (o == Objective::kWcet && !e.hasWcet)
+        return std::numeric_limits<double>::infinity();
+    const double v = objectiveValue(e, o);
+    return objectiveMaximized(o) ? -v : v;
+}
+
+bool
+dominates(const DesignEval &a, const DesignEval &b,
+          const std::vector<Objective> &objs)
+{
+    rtu_assert(!objs.empty(), "dominance needs at least one objective");
+    bool strictly = false;
+    for (Objective o : objs) {
+        const double va = canonicalValue(a, o);
+        const double vb = canonicalValue(b, o);
+        if (va > vb)
+            return false;
+        if (va < vb)
+            strictly = true;
+    }
+    return strictly;
+}
+
+std::vector<unsigned>
+nonDominatedRank(const std::vector<DesignEval> &evals,
+                 const std::vector<Objective> &objs)
+{
+    const size_t n = evals.size();
+    std::vector<unsigned> rank(n, 0);
+    std::vector<bool> assigned(n, false);
+    size_t remaining = n;
+    unsigned front = 0;
+    while (remaining > 0) {
+        std::vector<size_t> thisFront;
+        for (size_t i = 0; i < n; ++i) {
+            if (assigned[i])
+                continue;
+            bool dominated = false;
+            for (size_t j = 0; j < n && !dominated; ++j) {
+                if (j != i && !assigned[j] &&
+                    dominates(evals[j], evals[i], objs))
+                    dominated = true;
+            }
+            if (!dominated)
+                thisFront.push_back(i);
+        }
+        rtu_assert(!thisFront.empty(),
+                   "non-dominated sort made no progress");
+        for (size_t i : thisFront) {
+            rank[i] = front;
+            assigned[i] = true;
+        }
+        remaining -= thisFront.size();
+        ++front;
+    }
+    return rank;
+}
+
+std::vector<size_t>
+paretoFrontier(const std::vector<DesignEval> &evals,
+               const std::vector<Objective> &objs)
+{
+    // Rank-0 of the non-dominated sort, computed directly: a point is
+    // on the frontier iff no point dominates it.
+    std::vector<size_t> front;
+    for (size_t i = 0; i < evals.size(); ++i) {
+        bool dominated = false;
+        for (size_t j = 0; j < evals.size() && !dominated; ++j) {
+            if (j != i && dominates(evals[j], evals[i], objs))
+                dominated = true;
+        }
+        if (!dominated)
+            front.push_back(i);
+    }
+    return front;
+}
+
+bool
+Constraint::satisfiedBy(const DesignEval &e) const
+{
+    if (obj == Objective::kWcet && !e.hasWcet)
+        return !isUpperBound;  // no static bound: can't promise "<="
+    double v = objectiveValue(e, obj);
+    if (relativeToVanilla) {
+        rtu_assert(obj == Objective::kFmax,
+                   "relative bounds are supported for fmax (area is "
+                   "already normalized to vanilla)");
+        v /= AsicModel::fmaxGHz(e.id.core, RtosUnitConfig::vanilla());
+    }
+    return isUpperBound ? v <= bound : v >= bound;
+}
+
+std::string
+Constraint::str() const
+{
+    return csprintf("%s%s%g%s", objectiveName(obj),
+                    isUpperBound ? "<=" : ">=", bound,
+                    relativeToVanilla ? "x" : "");
+}
+
+Constraint
+parseConstraint(const std::string &text)
+{
+    size_t op = text.find("<=");
+    bool upper = true;
+    if (op == std::string::npos) {
+        op = text.find(">=");
+        upper = false;
+    }
+    if (op == std::string::npos || op == 0 || op + 2 >= text.size())
+        fatal("malformed constraint '%s' (expected obj<=value or "
+              "obj>=value, e.g. area<=1.35 or fmax>=0.9x)",
+              text.c_str());
+
+    Constraint c;
+    c.obj = objectiveFromName(text.substr(0, op));
+    c.isUpperBound = upper;
+    std::string value = text.substr(op + 2);
+    if (!value.empty() && (value.back() == 'x' || value.back() == 'X')) {
+        c.relativeToVanilla = true;
+        value.pop_back();
+    }
+    char *end = nullptr;
+    c.bound = std::strtod(value.c_str(), &end);
+    if (end == value.c_str() || *end != '\0')
+        fatal("malformed constraint bound in '%s'", text.c_str());
+    if (c.relativeToVanilla && c.obj != Objective::kFmax)
+        fatal("relative bound '%s': only fmax supports the 'x' suffix "
+              "(area is already normalized to vanilla)", text.c_str());
+    return c;
+}
+
+std::vector<size_t>
+feasibleSet(const std::vector<DesignEval> &evals,
+            const std::vector<Constraint> &constraints)
+{
+    std::vector<size_t> out;
+    for (size_t i = 0; i < evals.size(); ++i) {
+        if (!evals[i].ok)
+            continue;
+        bool ok = true;
+        for (const Constraint &c : constraints)
+            ok = ok && c.satisfiedBy(evals[i]);
+        if (ok)
+            out.push_back(i);
+    }
+    return out;
+}
+
+size_t
+selectBest(const std::vector<DesignEval> &evals, Objective minimize,
+           const std::vector<Constraint> &constraints)
+{
+    size_t best = SIZE_MAX;
+    double bestV = std::numeric_limits<double>::infinity();
+    for (size_t i : feasibleSet(evals, constraints)) {
+        const double v = canonicalValue(evals[i], minimize);
+        if (v < bestV) {
+            bestV = v;
+            best = i;
+        }
+    }
+    return best;
+}
+
+} // namespace rtu

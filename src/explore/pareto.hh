@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Pareto machinery over DesignEval objective vectors: objective
+ * selection, dominance, non-dominated sorting (NSGA-style successive
+ * fronts), and the constraint queries that turn frontiers into the
+ * paper's per-core recommendations ("minimize mean latency subject to
+ * area <= +35 % and f_max >= 0.9x vanilla").
+ */
+
+#ifndef RTU_EXPLORE_PARETO_HH
+#define RTU_EXPLORE_PARETO_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "design_eval.hh"
+
+namespace rtu {
+
+/** The objectives a frontier or constraint can range over. */
+enum class Objective
+{
+    kLatMean,    ///< mean switch latency [cycles] (minimize)
+    kLatJitter,  ///< max - min switch latency [cycles] (minimize)
+    kWcet,       ///< static worst case [cycles] (minimize; CV32E40P)
+    kArea,       ///< normalized area vs same-core vanilla (minimize)
+    kFmax,       ///< achievable frequency [GHz] (maximize)
+    kPower,      ///< average power [mW] (minimize)
+};
+
+const char *objectiveName(Objective o);
+
+/** Parse "lat_mean", "jitter", "wcet", "area", "fmax", "power"
+ *  (fatal on unknown names: user-facing input). */
+Objective objectiveFromName(const std::string &name);
+
+/** Only f_max is maximized; every other objective is a cost. */
+bool objectiveMaximized(Objective o);
+
+/** Raw objective value as reported (f_max in GHz, area as a ratio). */
+double objectiveValue(const DesignEval &e, Objective o);
+
+/**
+ * Value in canonical minimize-space: f_max negated, a missing WCET
+ * mapped to +infinity (a point without a static bound never beats one
+ * that has it on that axis).
+ */
+double canonicalValue(const DesignEval &e, Objective o);
+
+/** Strict Pareto dominance of @p a over @p b on @p objs:
+ *  no-worse on every objective, strictly better on at least one. */
+bool dominates(const DesignEval &a, const DesignEval &b,
+               const std::vector<Objective> &objs);
+
+/**
+ * Non-dominated sorting: rank 0 is the Pareto frontier, rank 1 the
+ * frontier after removing rank 0, and so on. Order-stable and
+ * deterministic (pure function of the objective vectors).
+ */
+std::vector<unsigned> nonDominatedRank(const std::vector<DesignEval> &evals,
+                                       const std::vector<Objective> &objs);
+
+/** Indices of the Pareto frontier (rank 0), in input order. */
+std::vector<size_t> paretoFrontier(const std::vector<DesignEval> &evals,
+                                   const std::vector<Objective> &objs);
+
+/**
+ * One bound of a constrained co-design query. @c relativeToVanilla
+ * rescales the observed value by the same core's vanilla baseline
+ * before comparing (supported for f_max; area is already normalized).
+ */
+struct Constraint
+{
+    Objective obj = Objective::kArea;
+    bool isUpperBound = true;  ///< true: value <= bound; false: >=
+    double bound = 0;
+    bool relativeToVanilla = false;
+
+    bool satisfiedBy(const DesignEval &e) const;
+
+    /** Can this bound be checked from the analytical models alone,
+     *  before spending any simulation time? */
+    bool analytic() const
+    {
+        return obj == Objective::kArea || obj == Objective::kFmax;
+    }
+
+    /** Round-trippable display form ("area<=1.35", "fmax>=0.9x"). */
+    std::string str() const;
+};
+
+/**
+ * Parse "obj<=value" / "obj>=value"; a trailing 'x' makes the bound
+ * relative to the same core's vanilla baseline. Fatal on malformed
+ * input (user-facing).
+ */
+Constraint parseConstraint(const std::string &text);
+
+/** Indices of evaluated points satisfying every constraint (and
+ *  whose runs were ok), in input order. */
+std::vector<size_t> feasibleSet(const std::vector<DesignEval> &evals,
+                                const std::vector<Constraint> &constraints);
+
+/**
+ * The constrained query: index of the feasible point minimizing
+ * @p minimize (maximizing for f_max); SIZE_MAX when nothing is
+ * feasible. Ties resolve to the earliest point in input order, which
+ * is grid order for Explorer output — deterministic.
+ */
+size_t selectBest(const std::vector<DesignEval> &evals,
+                  Objective minimize,
+                  const std::vector<Constraint> &constraints);
+
+} // namespace rtu
+
+#endif // RTU_EXPLORE_PARETO_HH

@@ -4,6 +4,7 @@
 #include <sstream>
 #include <thread>
 
+#include "common/json.hh"
 #include "common/logging.hh"
 #include "workloads/workloads.hh"
 
@@ -35,6 +36,12 @@ SweepPoint::key() const
     return os.str();
 }
 
+void
+SweepPoint::reseed()
+{
+    seed = fnv1a(key());
+}
+
 std::vector<SweepPoint>
 SweepSpec::points() const
 {
@@ -58,7 +65,7 @@ SweepSpec::points() const
                         p.iterations = iterations;
                         p.timerPeriodCycles = period;
                         p.naxCtxQueueEntries = depth;
-                        p.seed = fnv1a(p.key());
+                        p.reseed();
                         pts.push_back(std::move(p));
                     }
                 }
@@ -145,10 +152,10 @@ writeResultsJsonl(std::ostream &os,
 {
     for (const SweepResult &r : results) {
         const RunResult &run = r.run;
-        os << "{\"core\":\"" << coreKindName(r.point.core)
-           << "\",\"config\":\"" << r.point.unit.name()
+        os << "{\"core\":\"" << jsonEscape(coreKindName(r.point.core))
+           << "\",\"config\":\"" << jsonEscape(r.point.unit.name())
            << "\",\"list_slots\":" << r.point.unit.listSlots
-           << ",\"workload\":\"" << r.point.workload
+           << ",\"workload\":\"" << jsonEscape(r.point.workload)
            << "\",\"iterations\":" << r.point.iterations
            << ",\"timer_period\":" << r.point.timerPeriodCycles
            << ",\"ctxqueue\":" << r.point.naxCtxQueueEntries

@@ -45,6 +45,11 @@ struct SweepPoint
 
     /** Stable human-readable key, also the seed's hash input. */
     std::string key() const;
+
+    /** Stamp the deterministic seed (FNV-1a over key()). Called by
+     *  SweepSpec::points(); hand-built point lists (the explorer's
+     *  cache misses) must call it before runPoints(). */
+    void reseed();
 };
 
 /** Cartesian grid specification. Empty axes are invalid. */

@@ -1,5 +1,7 @@
 #include "trace.hh"
 
+#include "common/json.hh"
+
 namespace rtu {
 
 const char *
@@ -15,24 +17,6 @@ switchPhaseName(SwitchPhase phase)
     }
     return "?";
 }
-
-namespace {
-
-/** Minimal JSON string escaping (labels are plain identifiers). */
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size());
-    for (char c : s) {
-        if (c == '"' || c == '\\')
-            out.push_back('\\');
-        out.push_back(c);
-    }
-    return out;
-}
-
-} // namespace
 
 void
 JsonlTraceSink::beginRun(const TraceRunLabel &label)

@@ -1,0 +1,80 @@
+/** JSON escaping tests: the one helper every JSONL writer (sweep
+ *  results, episode traces, the explorer's result cache) relies on
+ *  for well-formed output from arbitrary workload names and keys. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/json.hh"
+#include "sweep/sweep.hh"
+
+namespace rtu {
+namespace {
+
+TEST(JsonEscape, PlainIdentifiersPassThrough)
+{
+    EXPECT_EQ(jsonEscape("mutex_workload"), "mutex_workload");
+    EXPECT_EQ(jsonEscape("CV32E40P/SLT/slots8"), "CV32E40P/SLT/slots8");
+}
+
+TEST(JsonEscape, QuotesAndBackslashes)
+{
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("\\\""), "\\\\\\\"");
+}
+
+TEST(JsonEscape, ControlCharacters)
+{
+    EXPECT_EQ(jsonEscape("a\nb"), "a\\nb");
+    EXPECT_EQ(jsonEscape("a\tb"), "a\\tb");
+    EXPECT_EQ(jsonEscape("a\rb"), "a\\rb");
+    EXPECT_EQ(jsonEscape(std::string("a\x01z")), "a\\u0001z");
+    EXPECT_EQ(jsonEscape(std::string(1, '\0')), "\\u0000");
+}
+
+TEST(JsonEscape, NonAsciiBytesPassThrough)
+{
+    const std::string utf8 = "\xc3\xa9";  // e-acute in UTF-8
+    EXPECT_EQ(jsonEscape(utf8), utf8);
+}
+
+TEST(JsonUnescape, RoundTripsEverything)
+{
+    std::string nasty;
+    for (int c = 0; c < 256; ++c)
+        nasty.push_back(static_cast<char>(c));
+    nasty += "\"quoted\" \\slashed\\ \n newline";
+    EXPECT_EQ(jsonUnescape(jsonEscape(nasty)), nasty);
+}
+
+TEST(JsonUnescape, UnicodeEscapes)
+{
+    EXPECT_EQ(jsonUnescape("\\u0041"), "A");
+    EXPECT_EQ(jsonUnescape("\\u00e9"), "\xc3\xa9");
+    // Malformed escapes stay verbatim instead of vanishing.
+    EXPECT_EQ(jsonUnescape("\\u00"), "\\u00");
+    EXPECT_EQ(jsonUnescape("\\uzzzz"), "\\uzzzz");
+    EXPECT_EQ(jsonUnescape("trailing\\"), "trailing\\");
+}
+
+TEST(JsonEscape, SweepResultWriterEscapesWorkloadNames)
+{
+    // Workload names flow into writeResultsJsonl; an adversarial name
+    // must not break the line structure (one valid object per line).
+    SweepResult r;
+    r.point.workload = "evil\"name\nwith\\specials";
+    std::ostringstream os;
+    writeResultsJsonl(os, {r});
+    const std::string line = os.str();
+    EXPECT_NE(line.find("evil\\\"name\\nwith\\\\specials"),
+              std::string::npos);
+    // Exactly one newline: the record terminator, not the payload's.
+    EXPECT_EQ(std::count(line.begin(), line.end(), '\n'), 1);
+    EXPECT_EQ(line.back(), '\n');
+}
+
+} // namespace
+} // namespace rtu

@@ -136,6 +136,65 @@ TEST(SampleStats, MergePreservesExtremes)
     EXPECT_DOUBLE_EQ(a.max(), 100.0);
 }
 
+TEST(SampleStats, BulkMergeEqualsElementwiseAdds)
+{
+    // merge() takes a bulk path (reserve + append + one sort-cache
+    // invalidation); it must be observationally identical to add()ing
+    // every sample one by one.
+    SampleStats bulk, elementwise;
+    std::vector<double> first = {5.0, 1.0, 9.0, 3.0};
+    std::vector<double> second = {2.0, 8.0, 0.5, 12.0, 4.0};
+    for (double v : first) {
+        bulk.add(v);
+        elementwise.add(v);
+    }
+    SampleStats other;
+    for (double v : second)
+        other.add(v);
+    bulk.merge(other);
+    for (double v : second)
+        elementwise.add(v);
+
+    EXPECT_EQ(bulk.count(), elementwise.count());
+    EXPECT_DOUBLE_EQ(bulk.mean(), elementwise.mean());
+    EXPECT_DOUBLE_EQ(bulk.min(), elementwise.min());
+    EXPECT_DOUBLE_EQ(bulk.max(), elementwise.max());
+    for (double p : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0})
+        EXPECT_DOUBLE_EQ(bulk.percentile(p), elementwise.percentile(p))
+            << "p=" << p;
+}
+
+TEST(SampleStats, MergeInvalidatesPercentileCache)
+{
+    SampleStats a;
+    a.add(5.0);
+    EXPECT_DOUBLE_EQ(a.percentile(1.0), 5.0);  // populate sorted cache
+    SampleStats b;
+    b.add(9.0);
+    b.add(1.0);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(a.percentile(1.0), 9.0);
+}
+
+TEST(SampleStats, MergeEmptyIsNoOp)
+{
+    SampleStats a;
+    a.add(3.0);
+    a.add(7.0);
+    EXPECT_DOUBLE_EQ(a.percentile(1.0), 7.0);
+    const SampleStats empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(a.min(), 3.0);
+    EXPECT_DOUBLE_EQ(a.max(), 7.0);
+
+    SampleStats fresh;
+    fresh.merge(empty);
+    EXPECT_TRUE(fresh.empty());
+}
+
 TEST(SampleStatsDeath, EmptyAggregatesPanic)
 {
     SampleStats s;
