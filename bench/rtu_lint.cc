@@ -1,0 +1,180 @@
+/**
+ * rtu_lint: static context-integrity lint gate over the generated
+ * kernel matrix.
+ *
+ * Runs the four analysis passes (src/analyze) — trap-path context
+ * integrity vs. the RTOSUnit configuration, callee-saved ABI, stack
+ * discipline, CFG/WCET soundness — over every generated kernel image:
+ * all twelve paper configurations (plus the +HS extension points)
+ * crossed with the standard workload suite.
+ *
+ * Usage:
+ *   rtu_lint [--configs=S,SDLOT,...] [--workloads=yield_pingpong,...]
+ *            [--out=diags.jsonl] [--warn-as-error] [--no-hwsync]
+ *            [--quiet]
+ *
+ * Exit status is non-zero when any error diagnostic (or, with
+ * --warn-as-error, any diagnostic at all) is produced, so CI can use
+ * the binary directly as a gate. Diagnostics go to stdout as text and
+ * optionally to --out as JSONL, one object per diagnostic with the
+ * configuration and workload attached.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze/linter.hh"
+#include "common/json.hh"
+#include "common/logging.hh"
+
+using namespace rtu;
+
+namespace {
+
+std::set<std::string>
+parseList(const std::string &arg)
+{
+    std::set<std::string> out;
+    std::string cur;
+    for (char c : arg) {
+        if (c == ',') {
+            if (!cur.empty())
+                out.insert(cur);
+            cur.clear();
+        } else {
+            cur.push_back(c);
+        }
+    }
+    if (!cur.empty())
+        out.insert(cur);
+    return out;
+}
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--configs=A,B,...] [--workloads=a,b,...] "
+                 "[--out=FILE.jsonl] [--warn-as-error] [--no-hwsync] "
+                 "[--quiet]\n",
+                 argv0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    std::set<std::string> configFilter;
+    std::set<std::string> workloadFilter;
+    std::string outPath;
+    bool warnAsError = false;
+    bool includeHwsync = true;
+    bool quiet = false;
+
+    bool ok = true;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        // Accepts both --flag=value and --flag value, like the other
+        // bench drivers.
+        auto value = [&](const char *flag) {
+            const std::string eq = std::string(flag) + "=";
+            if (arg.rfind(eq, 0) == 0)
+                return arg.substr(eq.size());
+            if (i + 1 < argc)
+                return std::string(argv[++i]);
+            ok = false;
+            return std::string();
+        };
+        auto matches = [&arg](const char *flag) {
+            return arg == flag ||
+                   arg.rfind(std::string(flag) + "=", 0) == 0;
+        };
+        if (matches("--configs")) {
+            configFilter = parseList(value("--configs"));
+        } else if (matches("--workloads")) {
+            workloadFilter = parseList(value("--workloads"));
+        } else if (matches("--out")) {
+            outPath = value("--out");
+        } else if (arg == "--warn-as-error") {
+            warnAsError = true;
+        } else if (arg == "--no-hwsync") {
+            includeHwsync = false;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else {
+            ok = false;
+        }
+        if (!ok) {
+            usage(argv[0]);
+            return 2;
+        }
+    }
+
+    std::FILE *jsonl = nullptr;
+    if (!outPath.empty()) {
+        jsonl = std::fopen(outPath.c_str(), "w");
+        if (jsonl == nullptr) {
+            std::fprintf(stderr, "rtu_lint: cannot open %s\n",
+                         outPath.c_str());
+            return 2;
+        }
+    }
+
+    unsigned points = 0;
+    unsigned dirtyPoints = 0;
+    unsigned errors = 0;
+    unsigned warnings = 0;
+    forEachGeneratedProgram(
+        [&](const LintPoint &point) {
+            const std::string cfgName = point.unit.name();
+            if (!configFilter.empty() &&
+                configFilter.count(cfgName) == 0)
+                return;
+            if (!workloadFilter.empty() &&
+                workloadFilter.count(point.workload) == 0)
+                return;
+            ++points;
+            const LintResult result =
+                lintProgram(point.program, point.unit);
+            errors += result.errors();
+            warnings += result.warnings();
+            if (!result.clean())
+                ++dirtyPoints;
+            for (const Diagnostic &d : result.diags) {
+                if (!quiet) {
+                    std::printf("[%s x %s] %s\n", cfgName.c_str(),
+                                point.workload.c_str(),
+                                diagToString(d).c_str());
+                }
+                if (jsonl != nullptr) {
+                    const std::string context = csprintf(
+                        "\"config\":\"%s\",\"workload\":\"%s\"",
+                        jsonEscape(cfgName).c_str(),
+                        jsonEscape(point.workload).c_str());
+                    std::fprintf(jsonl, "%s\n",
+                                 diagToJson(d, context).c_str());
+                }
+            }
+        },
+        includeHwsync);
+
+    if (jsonl != nullptr)
+        std::fclose(jsonl);
+
+    if (!quiet) {
+        std::printf("rtu_lint: %u program points, %u with findings, "
+                    "%u errors, %u warnings\n",
+                    points, dirtyPoints, errors, warnings);
+    }
+    if (points == 0) {
+        std::fprintf(stderr, "rtu_lint: no program points matched "
+                             "the filters\n");
+        return 2;
+    }
+    return errors > 0 || (warnAsError && warnings > 0) ? 1 : 0;
+}

@@ -1,0 +1,84 @@
+#include "diag.hh"
+
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace rtu {
+
+const char *
+severityName(Severity severity)
+{
+    return severity == Severity::kError ? "error" : "warning";
+}
+
+std::string
+diagToString(const Diagnostic &d)
+{
+    std::string where;
+    if (d.hasPc) {
+        where = d.function.empty()
+                    ? csprintf("0x%08x", d.pc)
+                    : csprintf("%s @ 0x%08x", d.function.c_str(), d.pc);
+    } else if (!d.function.empty()) {
+        where = d.function;
+    }
+    std::string out = csprintf("%s[%s]", severityName(d.severity),
+                               d.code.c_str());
+    if (!where.empty())
+        out += " " + where;
+    out += ": " + d.message;
+    if (!d.insn.empty())
+        out += "  <" + d.insn + ">";
+    return out;
+}
+
+std::string
+diagToJson(const Diagnostic &d, const std::string &extra)
+{
+    std::string out = "{";
+    if (!extra.empty())
+        out += extra + ",";
+    out += csprintf("\"severity\":\"%s\",\"code\":\"%s\"",
+                    severityName(d.severity),
+                    jsonEscape(d.code).c_str());
+    if (d.hasPc)
+        out += csprintf(",\"pc\":\"0x%08x\"", d.pc);
+    if (!d.function.empty())
+        out += csprintf(",\"function\":\"%s\"",
+                        jsonEscape(d.function).c_str());
+    if (!d.insn.empty())
+        out += csprintf(",\"insn\":\"%s\"", jsonEscape(d.insn).c_str());
+    out += csprintf(",\"message\":\"%s\"}",
+                    jsonEscape(d.message).c_str());
+    return out;
+}
+
+unsigned
+countErrors(const std::vector<Diagnostic> &diags)
+{
+    unsigned n = 0;
+    for (const Diagnostic &d : diags)
+        n += d.severity == Severity::kError;
+    return n;
+}
+
+unsigned
+countWarnings(const std::vector<Diagnostic> &diags)
+{
+    unsigned n = 0;
+    for (const Diagnostic &d : diags)
+        n += d.severity == Severity::kWarning;
+    return n;
+}
+
+bool
+hasCode(const std::vector<Diagnostic> &diags, const std::string &code)
+{
+    for (const Diagnostic &d : diags) {
+        if (d.code == code)
+            return true;
+    }
+    return false;
+}
+
+} // namespace rtu

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Pass 3: stack-pointer discipline, per function.
+ *
+ * Tracks the SP delta relative to function entry along every path:
+ *
+ *  - joining paths must agree on the delta ("stack-imbalance"): a
+ *    block entered with two different known deltas means some path
+ *    leaked or double-popped frame bytes;
+ *  - `ret` must see delta 0 ("stack-ret-imbalance");
+ *  - loads/stores must not address below SP ("stack-below-sp") — the
+ *    region below the stack pointer is dead and an interrupt may
+ *    clobber it at any instruction boundary.
+ *
+ * A non-`addi sp, sp, imm` write to SP (frame switch via `lw sp`,
+ * ISR-stack rebase via `la sp`) makes the delta unknown; unknown
+ * deltas carry no balance obligation (trap paths rebase legitimately
+ * and end in `mret`, which pass 1 owns).
+ */
+
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "asm/disasm.hh"
+#include "common/logging.hh"
+#include "linter.hh"
+
+namespace rtu {
+
+namespace {
+
+class StackWalker
+{
+  public:
+    StackWalker(const Cfg &cfg, const LintOptions &options,
+                std::vector<Diagnostic> &out)
+        : cfg_(cfg), options_(options), out_(out)
+    {
+    }
+
+    void
+    runFunction(const std::string &name, Addr begin, Addr end)
+    {
+        fnName_ = name;
+        fnBegin_ = begin;
+        fnEnd_ = end;
+        visited_.clear();
+        leaderDeltas_.clear();
+        work_.clear();
+        work_.emplace_back(begin, State{0, true});
+        while (!work_.empty()) {
+            auto [pc, state] = work_.back();
+            work_.pop_back();
+            walk(pc, state);
+        }
+    }
+
+  private:
+    struct State
+    {
+        int delta = 0;
+        bool known = true;
+    };
+
+    bool
+    inFunction(Addr pc) const
+    {
+        return pc >= fnBegin_ && pc < fnEnd_ && cfg_.contains(pc);
+    }
+
+    void
+    report(const std::string &code, Addr pc, const std::string &message)
+    {
+        if (!reported_.insert(code + "@" + std::to_string(pc)).second)
+            return;
+        Diagnostic d;
+        d.severity = Severity::kError;
+        d.code = code;
+        d.pc = pc;
+        d.hasPc = true;
+        d.function = fnName_;
+        d.insn = disassemble(cfg_.insnAt(pc).raw);
+        d.message = message;
+        out_.push_back(std::move(d));
+    }
+
+    bool
+    enter(Addr pc, const State &st)
+    {
+        if (cfg_.blocks().count(pc) == 0)
+            return true;
+        if (st.known) {
+            auto &deltas = leaderDeltas_[pc];
+            deltas.insert(st.delta);
+            if (deltas.size() == 2) {
+                report("stack-imbalance", pc,
+                       csprintf("block entered with conflicting sp "
+                                "deltas (%d vs %d): paths disagree on "
+                                "the frame size", *deltas.begin(),
+                                *deltas.rbegin()));
+            }
+        }
+        if (statesSeen_ >= options_.stateBudget)
+            return false;
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                 st.delta))
+             << 1) |
+            (st.known ? 1u : 0u);
+        if (!visited_.insert({pc, key}).second)
+            return false;
+        ++statesSeen_;
+        return true;
+    }
+
+    void
+    walk(Addr pc, State st)
+    {
+        while (inFunction(pc)) {
+            if (!enter(pc, st))
+                return;
+            const DecodedInsn &d = cfg_.insnAt(pc);
+
+            switch (d.op) {
+              case Op::kJal:
+                if (d.rd == RA) {
+                    pc += 4;  // callee assumed balanced
+                    continue;
+                }
+                pc += static_cast<Word>(d.imm);
+                continue;
+              case Op::kJalr:
+                if (d.rd == Zero && d.rs1 == RA && d.imm == 0 &&
+                    st.known && st.delta != 0) {
+                    report("stack-ret-imbalance", pc,
+                           csprintf("ret with sp offset %d from the "
+                                    "entry value: frame not fully "
+                                    "popped", st.delta));
+                }
+                return;
+              case Op::kMret:
+              case Op::kInvalid:
+                return;
+              default:
+                break;
+            }
+
+            if (classOf(d.op) == InsnClass::kBranch) {
+                const Addr taken = pc + static_cast<Word>(d.imm);
+                if (inFunction(taken))
+                    work_.emplace_back(taken, st);
+                pc += 4;
+                continue;
+            }
+
+            const InsnClass cls = classOf(d.op);
+            if ((cls == InsnClass::kLoad || cls == InsnClass::kStore) &&
+                d.rs1 == SP && d.imm < 0) {
+                report("stack-below-sp", pc,
+                       csprintf("memory access at %d below sp: the "
+                                "region below the stack pointer is "
+                                "dead and interrupts may overwrite it",
+                                d.imm));
+            }
+
+            if (writesRd(d.op) && d.rd == SP) {
+                if (d.op == Op::kAddi && d.rs1 == SP) {
+                    if (st.known)
+                        st.delta += d.imm;
+                } else {
+                    st.known = false;  // rebase / frame switch
+                }
+            }
+            pc += 4;
+        }
+    }
+
+    const Cfg &cfg_;
+    const LintOptions &options_;
+    std::vector<Diagnostic> &out_;
+    std::string fnName_;
+    Addr fnBegin_ = 0;
+    Addr fnEnd_ = 0;
+    std::vector<std::pair<Addr, State>> work_;
+    std::set<std::pair<Addr, std::uint64_t>> visited_;
+    std::map<Addr, std::set<int>> leaderDeltas_;
+    std::unordered_set<std::string> reported_;
+    unsigned statesSeen_ = 0;
+};
+
+} // namespace
+
+void
+checkStackDiscipline(const Cfg &cfg, const LintOptions &options,
+                     std::vector<Diagnostic> &out)
+{
+    StackWalker walker(cfg, options, out);
+    for (const auto &[name, range] : cfg.program().functions) {
+        if (range.second > range.first && cfg.contains(range.first))
+            walker.runFunction(name, range.first, range.second);
+    }
+}
+
+} // namespace rtu

@@ -1,6 +1,6 @@
 #include "wcet.hh"
 
-#include "asm/decode.hh"
+#include "asm/disasm.hh"
 #include "common/logging.hh"
 #include "rtosunit/rtosunit.hh"
 
@@ -26,16 +26,25 @@ constexpr unsigned kMaxDepth = 64;
 WcetAnalyzer::WcetAnalyzer(const Program &program,
                            const RtosUnitConfig &unit,
                            const Cv32e40pParams &params)
-    : program_(program), unit_(unit), params_(params)
+    : program_(program), unit_(unit), params_(params), cfg_(program)
 {
 }
 
-DecodedInsn
-WcetAnalyzer::insnAt(Addr pc) const
+void
+WcetAnalyzer::reportOnce(const std::string &code, Addr pc,
+                         const std::string &message)
 {
-    rtu_assert(pc >= program_.textBase && pc < program_.textEnd(),
-               "WCET walk left the text section at 0x%08x", pc);
-    return decode(program_.text[(pc - program_.textBase) / 4]);
+    if (!reported_.insert({code, pc}).second)
+        return;
+    Diagnostic d;
+    d.severity = Severity::kError;
+    d.code = code;
+    d.pc = pc;
+    d.hasPc = true;
+    d.function = program_.functionAt(pc);
+    d.insn = disassemble(cfg_.insnAt(pc).raw);
+    d.message = message;
+    diags_.push_back(std::move(d));
 }
 
 WcetAnalyzer::PathCost
@@ -87,42 +96,54 @@ WcetAnalyzer::worstFrom(Addr pc, std::map<Addr, unsigned> budgets,
                pc);
     PathCost total;
     while (true) {
-        const DecodedInsn insn = insnAt(pc);
+        rtu_assert(cfg_.contains(pc),
+                   "WCET walk left the text section at 0x%08x", pc);
+        const BasicBlock *bb = cfg_.blockContaining(pc);
+
+        // Straight-line run up to the block's last instruction. `wfi`
+        // parks the core: the idle task is never an ISR path, so the
+        // walk ends without charging it.
+        while (pc != bb->termPc()) {
+            const DecodedInsn &d = cfg_.insnAt(pc);
+            if (d.op == Op::kWfi)
+                return total;
+            total = total.plus(costOf(d));
+            pc += 4;
+        }
+
+        const DecodedInsn &insn = cfg_.insnAt(pc);
         const PathCost step = costOf(insn);
 
-        if (insn.op == Op::kMret) {
+        switch (bb->term) {
+          case TermKind::kTrapReturn:
+          case TermKind::kReturn:
+            return total.plus(step);
+
+          case TermKind::kCall: {
+            // Call: add the callee's worst path, continue after.
             total = total.plus(step);
-            return total;
-        }
-        if (insn.op == Op::kJalr && insn.rd == Zero && insn.rs1 == RA) {
-            // Function return.
-            total = total.plus(step);
-            return total;
-        }
-        if (insn.op == Op::kJal) {
-            const Addr target = pc + static_cast<Word>(insn.imm);
-            if (insn.rd == RA) {
-                // Call: add the callee's worst path, continue after.
-                total = total.plus(step);
-                auto cached = functionCache_.find(target);
-                PathCost callee;
-                if (cached != functionCache_.end()) {
-                    callee = cached->second;
-                } else {
-                    callee = worstFrom(target, {}, depth + 1);
-                    functionCache_[target] = callee;
-                }
-                total = total.plus(callee);
-                pc += 4;
-                continue;
+            const Addr target = bb->takenTarget;
+            auto cached = functionCache_.find(target);
+            PathCost callee;
+            if (cached != functionCache_.end()) {
+                callee = cached->second;
+            } else {
+                callee = worstFrom(target, {}, depth + 1);
+                functionCache_[target] = callee;
             }
-            // Plain jump; bounded back edges consume loop budget.
-            auto bound = program_.loopBounds.find(pc);
-            if (bound != program_.loopBounds.end()) {
+            total = total.plus(callee);
+            pc += 4;
+            continue;
+          }
+
+          case TermKind::kJump: {
+            const Addr target = bb->takenTarget;
+            // Bounded back edges consume loop budget.
+            if (cfg_.hasLoopBound(pc)) {
                 // The annotation bounds how often this back edge may
                 // execute (see Assembler::loopBound).
                 auto [it, inserted] =
-                    budgets.emplace(pc, bound->second);
+                    budgets.emplace(pc, cfg_.loopBound(pc));
                 (void)inserted;
                 if (it->second == 0) {
                     // Budget exhausted: this continuation is
@@ -144,28 +165,50 @@ WcetAnalyzer::worstFrom(Addr pc, std::map<Addr, unsigned> budgets,
             total = total.plus(step);
             pc = target;
             continue;
-        }
-        if (classOf(insn.op) == InsnClass::kBranch) {
+          }
+
+          case TermKind::kBranch: {
             // Explore both successors; keep the worst.
             total = total.plus(step);
-            const Addr taken = pc + static_cast<Word>(insn.imm);
-            rtu_assert(taken > pc || program_.loopBounds.count(pc),
-                       "unannotated backward branch at 0x%08x", pc);
+            const Addr taken = bb->takenTarget;
+            if (taken <= pc && !cfg_.hasLoopBound(pc)) {
+                // Formerly a hard assert: an unannotated backward
+                // branch makes the loop unbounded. Report it and
+                // treat the taken edge as infeasible so callers see
+                // a result plus a diagnostic instead of an abort.
+                reportOnce("wcet-unannotated-back-edge", pc,
+                           "unannotated backward branch: taken edge "
+                           "treated as infeasible, WCET is a "
+                           "lower bound");
+                return total.plus(
+                    worstFrom(pc + 4, budgets, depth + 1));
+            }
             PathCost t = worstFrom(taken, budgets, depth + 1);
             PathCost f = worstFrom(pc + 4, budgets, depth + 1);
             t.takeMax(f);
             return total.plus(t);
-        }
-        if (insn.op == Op::kJalr) {
-            // Indirect jumps other than returns do not appear in
-            // generated kernel code.
-            panic("indirect jump in WCET path at 0x%08x", pc);
-        }
-        if (insn.op == Op::kWfi)
-            return total;  // the idle task is never an ISR path
+          }
 
-        total = total.plus(step);
-        pc += 4;
+          case TermKind::kIndirect:
+            // Formerly a panic: generated kernels never emit these.
+            reportOnce("wcet-indirect-jump", pc,
+                       "indirect jump has no static successor: the "
+                       "walk ends here, WCET is a lower bound");
+            return total;
+
+          case TermKind::kFallOffText:
+            if (insn.op == Op::kWfi)
+                return total;
+            return total.plus(step);
+
+          case TermKind::kFallThrough:
+            // Block split by a label: plain instruction.
+            if (insn.op == Op::kWfi)
+                return total;
+            total = total.plus(step);
+            pc += 4;
+            continue;
+        }
     }
 }
 

@@ -11,6 +11,13 @@
  * memory-port stalls core accesses inflict on it. The reported WCET
  * is the maximum of the software path and the decoupled hardware
  * path, as in the paper.
+ *
+ * The walk runs over the shared CFG (analyze/cfg.hh), the same edge
+ * construction the lint passes verify. Unsound inputs — unannotated
+ * backward branches, indirect jumps — no longer abort the process:
+ * they are reported through diagnostics() and the offending edge is
+ * treated as infeasible, so exploration flows (src/explore) can
+ * surface the problem instead of dying.
  */
 
 #ifndef RTU_WCET_WCET_HH
@@ -18,8 +25,12 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
+#include <vector>
 
+#include "analyze/cfg.hh"
+#include "analyze/diag.hh"
 #include "asm/program.hh"
 #include "cores/cv32e40p.hh"
 #include "rtosunit/config.hh"
@@ -46,6 +57,18 @@ class WcetAnalyzer
 
     /** Worst-case cycles of one function (until its return). */
     std::uint64_t analyzeFunction(const std::string &symbol);
+
+    /**
+     * Soundness problems found while walking (accumulated across
+     * analyze calls): "wcet-unannotated-back-edge" where a backward
+     * branch had no loopBounds annotation (its taken edge was treated
+     * as infeasible) and "wcet-indirect-jump" where a non-return jalr
+     * ended the walk. Empty for every generated kernel.
+     */
+    const std::vector<Diagnostic> &diagnostics() const
+    {
+        return diags_;
+    }
 
   private:
     struct PathCost
@@ -74,12 +97,16 @@ class WcetAnalyzer
                        unsigned depth);
 
     PathCost costOf(const DecodedInsn &insn) const;
-    DecodedInsn insnAt(Addr pc) const;
+    void reportOnce(const std::string &code, Addr pc,
+                    const std::string &message);
 
     const Program &program_;
     RtosUnitConfig unit_;
     Cv32e40pParams params_;
+    Cfg cfg_;
     std::map<Addr, PathCost> functionCache_;
+    std::vector<Diagnostic> diags_;
+    std::set<std::pair<std::string, Addr>> reported_;
 };
 
 } // namespace rtu

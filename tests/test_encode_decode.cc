@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "asm/decode.hh"
 #include "asm/disasm.hh"
 #include "asm/encode.hh"
@@ -118,6 +121,67 @@ INSTANTIATE_TEST_SUITE_P(
         }
         return name;
     });
+
+// The CFG builder (src/analyze/cfg.cc) computes every edge target
+// from decoded immediates of the control ops. Each of those ops must
+// round-trip its immediate exactly across the encodable range, or the
+// lint passes and the WCET analyzer would walk a wrong graph.
+
+class ControlImmRoundTrip : public ::testing::TestWithParam<Op>
+{
+};
+
+TEST_P(ControlImmRoundTrip, ImmediatePreservedExactly)
+{
+    const Op op = GetParam();
+    std::vector<SWord> imms;
+    switch (classOf(op)) {
+      case InsnClass::kBranch:
+        // B-type: +/-4 KiB, multiples of 2 (we emit multiples of 4).
+        imms = {-4096, -2048, -64, -4, 0, 4, 64, 2048, 4094};
+        break;
+      case InsnClass::kJump:
+        if (op == Op::kJal) {
+            // J-type: +/-1 MiB.
+            imms = {-1048576, -65536, -2048, -4, 0, 4, 2048, 65536,
+                    1048574};
+        } else {
+            // JALR I-type: +/-2 KiB, any alignment.
+            imms = {-2048, -1, 0, 1, 4, 52, 2047};
+        }
+        break;
+      default:  // mret carries no immediate
+        imms = {0};
+        break;
+    }
+    for (const SWord imm : imms) {
+        const Word raw = encode(op, Zero, op == Op::kJalr ? RA : Zero,
+                                Zero, imm);
+        const DecodedInsn out = decode(raw);
+        EXPECT_EQ(out.op, op) << disassemble(raw);
+        EXPECT_EQ(out.imm, imm) << disassemble(raw);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CfgEdgeOps, ControlImmRoundTrip,
+    ::testing::Values(Op::kBeq, Op::kBne, Op::kBlt, Op::kBge,
+                      Op::kBltu, Op::kBgeu, Op::kJal, Op::kJalr,
+                      Op::kMret),
+    [](const ::testing::TestParamInfo<Op> &info) {
+        return std::string(opName(info.param));
+    });
+
+TEST(ControlImmRoundTrip, ReturnIdiomDecodesAsRet)
+{
+    // `ret` = jalr zero, ra, 0: the exact triple the CFG's kReturn
+    // classification and the WCET walk key on.
+    const DecodedInsn d = decode(encode(Op::kJalr, Zero, RA, Zero, 0));
+    EXPECT_EQ(d.op, Op::kJalr);
+    EXPECT_EQ(d.rd, Zero);
+    EXPECT_EQ(d.rs1, RA);
+    EXPECT_EQ(d.imm, 0);
+}
 
 TEST(Disasm, RendersReadableText)
 {

@@ -184,5 +184,40 @@ TEST_F(KernelWcet, SoftwareSchedulingDominatesVanillaWcet)
     EXPECT_GT(r.pathInsns, 100u);
 }
 
+TEST_F(KernelWcet, GoldenValuesPinnedAcrossRefactors)
+{
+    // Exact analyzer output for the delay-wake fixture, recorded from
+    // the pre-shared-CFG analyzer and verified byte-identical after
+    // the refactor onto src/analyze. A change here means the WCET
+    // semantics moved; that must be deliberate, not a refactor side
+    // effect.
+    struct Golden {
+        const char *config;
+        std::uint64_t total, sw, hw, insns, mem;
+    };
+    static const Golden kGolden[] = {
+        {"vanilla", 630u, 630u, 0u, 415u, 216u},
+        {"CV32RT", 615u, 615u, 0u, 400u, 200u},
+        {"S", 631u, 631u, 224u, 386u, 184u},
+        {"SD", 631u, 631u, 224u, 386u, 184u},
+        {"SL", 530u, 530u, 224u, 347u, 153u},
+        {"SDLO", 530u, 530u, 224u, 347u, 153u},
+        {"T", 195u, 195u, 0u, 112u, 74u},
+        {"ST", 195u, 195u, 82u, 82u, 42u},
+        {"SDT", 195u, 195u, 82u, 82u, 42u},
+        {"SLT", 94u, 94u, 82u, 43u, 11u},
+        {"SDLOT", 94u, 94u, 82u, 43u, 11u},
+        {"SPLIT", 94u, 94u, 82u, 43u, 11u},
+    };
+    for (const Golden &g : kGolden) {
+        const WcetResult r = analyze(g.config);
+        EXPECT_EQ(r.totalCycles, g.total) << g.config;
+        EXPECT_EQ(r.softwareCycles, g.sw) << g.config;
+        EXPECT_EQ(r.hardwareCycles, g.hw) << g.config;
+        EXPECT_EQ(r.pathInsns, g.insns) << g.config;
+        EXPECT_EQ(r.pathMemOps, g.mem) << g.config;
+    }
+}
+
 } // namespace
 } // namespace rtu
