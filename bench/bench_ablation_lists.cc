@@ -27,12 +27,15 @@ int
 main(int argc, char **argv)
 {
     unsigned threads = 1;
+    bool fast_forward = true;
     std::string out_path;
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--threads") && i + 1 < argc)
             threads = static_cast<unsigned>(std::max(1, std::atoi(argv[++i])));
         else if (!std::strcmp(argv[i], "--out") && i + 1 < argc)
             out_path = argv[++i];
+        else if (!std::strcmp(argv[i], "--no-fast-forward"))
+            fast_forward = false;
     }
     setQuiet(true);
 
@@ -46,7 +49,9 @@ main(int argc, char **argv)
     spec.workloads = standardWorkloadNames();
     spec.iterations = 10;
 
-    const auto results = SweepRunner(threads).run(spec);
+    SweepRunner runner(threads);
+    runner.setFastForward(fast_forward);
+    const auto results = runner.run(spec);
 
     std::printf("Ablation: hardware list length on CV32E40P (T), "
                 "workload suite x10 (%u threads)\n\n", threads);

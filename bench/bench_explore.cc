@@ -140,6 +140,10 @@ main(int argc, char **argv)
                 "simulated %zu\n",
                 stats.designPoints, stats.prefiltered,
                 stats.sweepPoints, stats.cacheHits, stats.simulated);
+    // Failed runs carry a structured status (cycle-limit vs the
+    // no-retire watchdog) instead of silently scoring as !ok.
+    for (const std::string &f : stats.failures)
+        std::printf("FAILED %s\n", f.c_str());
     if (!spec.cacheDir.empty())
         std::printf("cache: %s (%zu entries)\n",
                     explorer.cache().filePath().c_str(),

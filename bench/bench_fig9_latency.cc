@@ -18,6 +18,11 @@
  * Usage: bench_fig9_latency [--iterations N] [--per-workload]
  *                           [--threads N] [--out results.jsonl]
  *                           [--trace trace.jsonl]
+ *                           [--no-fast-forward] [--timing]
+ *
+ * --no-fast-forward forces the per-cycle reference mode of the
+ * simulation kernel (byte-identical results, much slower); --timing
+ * adds the nondeterministic wall_ms/mips fields to --out lines.
  */
 
 #include <algorithm>
@@ -39,6 +44,8 @@ main(int argc, char **argv)
     unsigned iterations = 20;
     unsigned threads = 1;
     bool per_workload = false;
+    bool fast_forward = true;
+    bool include_timing = false;
     std::string out_path;
     std::string trace_path;
     for (int i = 1; i < argc; ++i) {
@@ -52,6 +59,10 @@ main(int argc, char **argv)
             trace_path = argv[++i];
         else if (!std::strcmp(argv[i], "--per-workload"))
             per_workload = true;
+        else if (!std::strcmp(argv[i], "--no-fast-forward"))
+            fast_forward = false;
+        else if (!std::strcmp(argv[i], "--timing"))
+            include_timing = true;
     }
     setQuiet(true);
 
@@ -62,7 +73,11 @@ main(int argc, char **argv)
     spec.iterations = iterations;
 
     const bool capture_trace = !trace_path.empty();
-    const SweepRunner runner(threads);
+    SweepRunner runner(threads);
+    // --no-fast-forward runs the per-cycle reference mode; results are
+    // identical by construction (see tests/test_differential.cc), the
+    // knob exists to prove exactly that and to debug the kernel.
+    runner.setFastForward(fast_forward);
     const auto results = runner.run(spec, capture_trace);
 
     std::printf("Figure 9: context-switch latencies (cycles), "
@@ -120,7 +135,7 @@ main(int argc, char **argv)
         std::ofstream os(out_path);
         if (!os)
             fatal("cannot open --out file '%s'", out_path.c_str());
-        writeResultsJsonl(os, results);
+        writeResultsJsonl(os, results, include_timing);
         std::printf("\nresults: %s (%zu points)\n", out_path.c_str(),
                     results.size());
     }

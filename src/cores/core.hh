@@ -15,6 +15,7 @@
 #include "executor.hh"
 #include "sim/clint.hh"
 #include "sim/irq.hh"
+#include "sim/kernel.hh"
 #include "sim/mem.hh"
 
 namespace rtu {
@@ -42,7 +43,7 @@ struct CoreStats
     std::uint64_t cacheMisses = 0;
 };
 
-class Core
+class Core : public Clocked
 {
   public:
     struct Env
@@ -62,7 +63,7 @@ class Core
     virtual ~Core() = default;
 
     /** Advance one clock cycle. */
-    virtual void tick(Cycle now) = 0;
+    void tick(Cycle now) override = 0;
 
     virtual const char *name() const = 0;
 

@@ -37,6 +37,42 @@ Cva6Core::stalledByUnit(const DecodedInsn &insn) const
     }
 }
 
+Cycle
+Cva6Core::nextEventAt(Cycle now) const
+{
+    // The background store-buffer drain is pure: the bus claims are
+    // unobservable while every other port user is quiescent (the
+    // kernel's precondition for skipping) and the occupancy decrement
+    // is replicated closed-form by skipTo().
+    if (mretPending_)
+        return std::max(now, mretDoneAt_);  // listener completion event
+    if (sleeping_)
+        return exec_.pendingEnabledIrqs() != 0 ? now : kNoEvent;
+    if (now < issueReadyAt_)
+        return issueReadyAt_;  // interrupts sampled at issue boundaries
+    if (exec_.interruptReady())
+        return now < drainAt_ ? drainAt_ : now;
+    return now;
+}
+
+void
+Cva6Core::skipTo(Cycle now, Cycle target)
+{
+    const Cycle delta = target - now;
+    // Closed-form store-buffer drain: one entry per cycle the bus is
+    // not held by a refill.
+    const Cycle busyEnd = std::min(std::max(busBusyUntil_, now), target);
+    const Cycle freeCycles = target - busyEnd;
+    const unsigned drained =
+        static_cast<unsigned>(std::min<Cycle>(storeBuf_, freeCycles));
+    storeBuf_ -= drained;
+
+    if (sleeping_)
+        stats_.wfiCycles += delta;
+    else
+        stats_.stallCycles += delta;
+}
+
 void
 Cva6Core::tick(Cycle now)
 {

@@ -51,6 +51,14 @@ class Cva6Core : public Core
              const Cva6Params &params = {});
 
     void tick(Cycle now) override;
+
+    /** Earliest cycle the core can change observable state. */
+    Cycle nextEventAt(Cycle now) const override;
+
+    /** Bulk-advance stall/sleep cycles with a closed-form store-buffer
+     *  drain. */
+    void skipTo(Cycle now, Cycle target) override;
+
     const char *name() const override { return "cva6"; }
 
     CacheModel &dcache() { return dcache_; }

@@ -132,6 +132,51 @@ NaxCore::retire(Cycle now)
         rob_.pop_front();
 }
 
+Cycle
+NaxCore::nextEventAt(Cycle now) const
+{
+    // The per-cycle cachePort_.beginCycle()/claim() bookkeeping is
+    // unobservable while the ctxQueue (the only other port user) is
+    // quiescent — the kernel's precondition for skipping.
+    if (mretPending_)
+        return std::max(now, mretDoneAt_);  // listener completion event
+    if (sleeping_)
+        return exec_.pendingEnabledIrqs() != 0 ? now : kNoEvent;
+    if (exec_.interruptReady()) {
+        // Taken at the first commit boundary; until then the core only
+        // burns stall cycles (and deliberately does not retire).
+        if (!rob_.empty() && rob_.front() > now)
+            return rob_.front();
+        return now;
+    }
+    if (now < dispatchBlockedUntil_)
+        return dispatchBlockedUntil_;
+    return now;
+}
+
+void
+NaxCore::skipTo(Cycle now, Cycle target)
+{
+    const Cycle delta = target - now;
+    if (mretPending_) {
+        retire(target - 1);
+        stats_.stallCycles += delta;
+        return;
+    }
+    if (sleeping_) {
+        stats_.wfiCycles += delta;
+        return;
+    }
+    if (exec_.interruptReady()) {
+        // Waiting for the commit boundary: the reference path returns
+        // before retire(), so the ROB must stay put here too.
+        stats_.stallCycles += delta;
+        return;
+    }
+    retire(target - 1);
+    stats_.stallCycles += delta;
+}
+
 void
 NaxCore::tick(Cycle now)
 {

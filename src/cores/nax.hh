@@ -75,6 +75,7 @@ class NaxCtxQueuePort : public UnitMemPort
     bool popResponse(Word *data) override;
     bool idle() const override;
     void tick() override;
+    void skipCycles(Cycle delta) override { now_ += delta; }
 
   private:
     struct Entry
@@ -103,6 +104,14 @@ class NaxCore : public Core
     NaxCore(const Env &env, const NaxParams &params = {});
 
     void tick(Cycle now) override;
+
+    /** Earliest cycle the core can change observable state. */
+    Cycle nextEventAt(Cycle now) const override;
+
+    /** Bulk-advance stall/sleep cycles, retiring ROB entries exactly
+     *  where the per-cycle path would. */
+    void skipTo(Cycle now, Cycle target) override;
+
     const char *name() const override { return "naxriscv"; }
 
     CacheModel &dcache() { return dcache_; }

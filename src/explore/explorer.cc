@@ -211,8 +211,18 @@ Explorer::evaluate()
         const SweepRunner runner(spec_.threads);
         const std::vector<SweepResult> fresh = runner.runPoints(missing);
         stats_.simulated = fresh.size();
-        for (const SweepResult &r : fresh)
+        for (const SweepResult &r : fresh) {
+            if (!r.run.ok) {
+                const std::string line = csprintf(
+                    "%s: status=%s%s%s", r.point.key().c_str(),
+                    runStatusName(r.run.status),
+                    r.run.diagnostic.empty() ? "" : ": ",
+                    r.run.diagnostic.c_str());
+                warn("explore point %s failed", line.c_str());
+                stats_.failures.push_back(line);
+            }
             cache_.insert(r.point, ResultCache::fromRunResult(r.run));
+        }
     }
 
     // (1) Join both sides into one objective vector per design point.

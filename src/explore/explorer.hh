@@ -65,6 +65,10 @@ struct ExploreStats
     size_t sweepPoints = 0;   ///< (design x workload) results needed
     size_t cacheHits = 0;     ///< served from the result cache
     size_t simulated = 0;     ///< actually simulated this call
+    /** One "<key>: status=<s>[: diagnostic]" line per freshly
+     *  simulated point that failed (cache hits were vetted when
+     *  first simulated; the cache only records ok). */
+    std::vector<std::string> failures;
 };
 
 class Explorer

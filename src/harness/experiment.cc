@@ -1,5 +1,7 @@
 #include "experiment.hh"
 
+#include <chrono>
+
 #include "common/logging.hh"
 #include "kernel/kernel.hh"
 
@@ -26,6 +28,8 @@ runWorkload(CoreKind core, const RtosUnitConfig &unit,
     sconfig.timerPeriodCycles = opts.timerPeriodCycles;
     sconfig.maxCycles = winfo.maxCycles;
     sconfig.naxCtxQueueEntries = opts.naxCtxQueueEntries;
+    sconfig.fastForward = opts.fastForward;
+    sconfig.watchdogCycles = opts.watchdogCycles;
 
     Simulation sim(sconfig, program);
     for (Cycle at : winfo.extIrqSchedule)
@@ -41,7 +45,9 @@ runWorkload(CoreKind core, const RtosUnitConfig &unit,
         sim.setTraceSink(opts.sink);
     }
 
+    const auto wallStart = std::chrono::steady_clock::now();
     const bool exited = sim.run();
+    const auto wallEnd = std::chrono::steady_clock::now();
     if (opts.sink)
         opts.sink->endRun();
 
@@ -52,6 +58,15 @@ runWorkload(CoreKind core, const RtosUnitConfig &unit,
     res.ok = exited && sim.exitCode() == 0;
     res.exitCode = sim.exitCode();
     res.cycles = sim.now();
+    res.status = sim.status();
+    res.diagnostic = sim.statusDiagnostic();
+    const SimKernelStats &ks = sim.kernelStats();
+    res.throughput.cyclesTicked = ks.cyclesTicked;
+    res.throughput.cyclesSkipped = ks.cyclesSkipped;
+    res.throughput.fastForwards = ks.fastForwards;
+    res.throughput.strideSkips = ks.strideSkips;
+    res.throughput.wallSeconds =
+        std::chrono::duration<double>(wallEnd - wallStart).count();
     res.switchLatency = sim.recorder().latencyStats(true);
     res.episodeLatency = sim.recorder().latencyStats(false);
     res.coreStats = sim.coreStats();
@@ -73,11 +88,13 @@ runWorkload(CoreKind core, const RtosUnitConfig &unit,
     }
 
     if (!res.ok) {
-        warn("workload '%s' on %s/%s failed (exited=%d code=0x%x after "
-             "%llu cycles)",
+        warn("workload '%s' on %s/%s failed (status=%s code=0x%x after "
+             "%llu cycles)%s%s",
              winfo.name.c_str(), coreKindName(core), unit.name().c_str(),
-             exited ? 1 : 0, res.exitCode,
-             static_cast<unsigned long long>(res.cycles));
+             runStatusName(res.status), res.exitCode,
+             static_cast<unsigned long long>(res.cycles),
+             res.diagnostic.empty() ? "" : ": ",
+             res.diagnostic.c_str());
     }
     return res;
 }

@@ -30,6 +30,17 @@ struct ActivityCounters
     std::uint64_t traps = 0;
 };
 
+/** Simulator throughput for one run (wall time is nondeterministic;
+ *  everything else is exact). */
+struct RunThroughput
+{
+    std::uint64_t cyclesTicked = 0;
+    std::uint64_t cyclesSkipped = 0;
+    std::uint64_t fastForwards = 0;
+    std::uint64_t strideSkips = 0;
+    double wallSeconds = 0.0;
+};
+
 struct RunResult
 {
     CoreKind core;
@@ -38,10 +49,13 @@ struct RunResult
     bool ok = false;
     Word exitCode = 0;
     Cycle cycles = 0;
+    RunStatus status = RunStatus::kExited;
+    std::string diagnostic;  ///< non-empty on a watchdog abort
     SampleStats switchLatency;   ///< task-switching episodes only
     SampleStats episodeLatency;  ///< every ISR episode
     CoreStats coreStats;
     ActivityCounters activity;
+    RunThroughput throughput;
 };
 
 /** Knobs of a single run beyond (core, configuration, workload). */
@@ -56,6 +70,10 @@ struct RunOptions
     /** Deterministic seed recorded in trace labels (reserved for
      *  future stochastic workloads; the simulator itself is exact). */
     std::uint64_t seed = 0;
+    /** Event-driven fast-forward; false = per-cycle reference mode. */
+    bool fastForward = true;
+    /** No-retire watchdog threshold; 0 disables. */
+    std::uint64_t watchdogCycles = 2'000'000;
 };
 
 /** Run one workload on one (core, configuration) pair. */

@@ -19,13 +19,25 @@ coreKindName(CoreKind kind)
     return "?";
 }
 
+const char *
+runStatusName(RunStatus status)
+{
+    switch (status) {
+      case RunStatus::kExited: return "exited";
+      case RunStatus::kCycleLimit: return "cycle-limit";
+      case RunStatus::kNoRetire: return "no-retire";
+    }
+    return "?";
+}
+
 Simulation::Simulation(const SimConfig &config, const Program &program)
     : config_(config), program_(program),
       imem_("imem", memmap::kImemBase, memmap::kImemSize),
       dmem_("dmem", memmap::kDmemBase, memmap::kDmemSize),
-      clint_(irq_), hostio_(irq_, ext_),
+      ext_(irq_), clint_(irq_), hostio_(irq_, ext_),
       exec_(state_, mem_, irq_),
-      dmemPort_("dmem-port"), busPort_("bus-port")
+      dmemPort_("dmem-port"), busPort_("bus-port"),
+      portReset_(dmemPort_, busPort_)
 {
     std::string why;
     if (!config_.unit.validate(&why))
@@ -41,7 +53,8 @@ Simulation::Simulation(const SimConfig &config, const Program &program)
     taskIdAddr_ = program.symbol("currentTaskId");
 
     state_.setPc(program.textBase);
-    exec_.setClock(&now_);
+    exec_.setClock(kernel_.clockPtr());
+    hostio_.bindClock(kernel_.clockPtr());
 
     // The core must exist before the unit: on NaxRiscv the unit's
     // memory port is the LSU ctxQueue inside the core (paper Fig 8).
@@ -107,9 +120,21 @@ Simulation::Simulation(const SimConfig &config, const Program &program)
     // Phase tracing: the units stamp store/sched/load completion into
     // the recorder's in-flight episode through this simulation.
     if (unit_)
-        unit_->setPhaseObserver(this, &now_);
+        unit_->setPhaseObserver(this, kernel_.clockPtr());
     if (cv32rt_)
         cv32rt_->setPhaseObserver(this);
+
+    // Registration order is the intra-cycle tick order and must match
+    // the historical hand-written loop: devices first, then the core,
+    // then the unit (which consumes what the core pushed this cycle).
+    kernel_.add(&clint_);
+    kernel_.add(&ext_);
+    kernel_.add(&portReset_);
+    kernel_.add(core_.get());
+    if (unit_)
+        kernel_.add(unit_.get());
+    else if (cv32rt_)
+        kernel_.add(cv32rt_.get());
 }
 
 Simulation::~Simulation() = default;
@@ -145,25 +170,74 @@ Simulation::phaseReached(SwitchPhase phase, Cycle cycle)
     recorder_.notePhase(phase, cycle);
 }
 
+std::uint64_t
+Simulation::progressCount() const
+{
+    const CoreStats &s = core_->stats();
+    return s.instret + s.traps;
+}
+
+void
+Simulation::noRetireAbort()
+{
+    status_ = RunStatus::kNoRetire;
+    std::string unitState = "none";
+    if (unit_)
+        unitState = unit_->fsmState();
+    else if (cv32rt_)
+        unitState = csprintf("cv32rt drainBusy=%d",
+                             cv32rt_->drainBusy());
+    diagnostic_ = csprintf(
+        "no instruction retired for %llu cycles at cycle %llu: "
+        "pc=0x%08x pending-irqs=0x%x mie=0x%x mstatus=0x%x unit[%s]",
+        static_cast<unsigned long long>(config_.watchdogCycles),
+        static_cast<unsigned long long>(kernel_.now()), state_.pc(),
+        irq_.pending(), state_.csrs.mie, state_.csrs.mstatus,
+        unitState.c_str());
+}
+
 bool
 Simulation::run()
 {
-    while (now_ < config_.maxCycles && !hostio_.exited()) {
-        clint_.tick(now_);
-        ext_.tick(now_, irq_);
-        hostio_.setCycle(now_);
-        dmemPort_.beginCycle();
-        busPort_.beginCycle();
-        core_->tick(now_);
-        if (unit_)
-            unit_->tick(now_);
-        else if (cv32rt_)
-            cv32rt_->tick(now_);
-        ++now_;
+    status_ = RunStatus::kCycleLimit;
+    diagnostic_.clear();
+    std::uint64_t lastProgress = progressCount();
+    Cycle lastProgressCycle = kernel_.now();
+
+    while (!hostio_.exited()) {
+        const Cycle now = kernel_.now();
+        if (now >= config_.maxCycles)
+            break;
+
+        // Track progress at loop top so ticked and fast-forwarded runs
+        // observe retirement at identical cycles.
+        const std::uint64_t progress = progressCount();
+        if (progress != lastProgress) {
+            lastProgress = progress;
+            lastProgressCycle = now;
+        }
+
+        Cycle limit = config_.maxCycles;
+        if (config_.watchdogCycles != 0) {
+            const Cycle deadline =
+                lastProgressCycle + config_.watchdogCycles;
+            if (now >= deadline) {
+                noRetireAbort();
+                return false;
+            }
+            limit = std::min(limit, deadline);
+        }
+
+        // Clamping skips to `limit` keeps the abort cycle identical in
+        // fast-forward and reference mode.
+        if (config_.fastForward && kernel_.fastForward(limit))
+            continue;
+
+        kernel_.tickOne();
     }
-    if (!hostio_.exited())
-        warn("simulation hit the %llu-cycle limit without guest exit",
-             static_cast<unsigned long long>(config_.maxCycles));
+
+    if (hostio_.exited())
+        status_ = RunStatus::kExited;
     return hostio_.exited();
 }
 

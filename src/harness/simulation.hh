@@ -21,6 +21,7 @@
 #include "sim/clint.hh"
 #include "sim/hostio.hh"
 #include "sim/irq.hh"
+#include "sim/kernel.hh"
 #include "sim/mem.hh"
 #include "sim/switchrec.hh"
 #include "trace/trace.hh"
@@ -40,7 +41,22 @@ struct SimConfig
     std::uint64_t maxCycles = 20'000'000;
     /** NaxRiscv LSU ctxQueue depth (paper Fig 8; ablation knob). */
     unsigned naxCtxQueueEntries = 8;
+    /** Event-driven fast-forward; false = per-cycle reference mode. */
+    bool fastForward = true;
+    /** Abort after this many cycles without a retired instruction or
+     *  trap (hung-guest diagnostic); 0 disables the watchdog. */
+    std::uint64_t watchdogCycles = 2'000'000;
 };
+
+/** How a simulation run ended. */
+enum class RunStatus
+{
+    kExited,      ///< guest exited voluntarily
+    kCycleLimit,  ///< ran to maxCycles
+    kNoRetire,    ///< watchdog: no instruction retired, guest hung
+};
+
+const char *runStatusName(RunStatus status);
 
 class Simulation : public CoreListener, public PhaseObserver
 {
@@ -59,14 +75,22 @@ class Simulation : public CoreListener, public PhaseObserver
     void setTraceSink(TraceSink *sink) { recorder_.setSink(sink); }
 
     /**
-     * Run to guest exit or the cycle limit.
+     * Run to guest exit, the cycle limit, or a watchdog abort.
      * @return true if the guest exited voluntarily.
      */
     bool run();
 
-    Cycle now() const { return now_; }
+    Cycle now() const { return kernel_.now(); }
     bool exited() const { return hostio_.exited(); }
     Word exitCode() const { return hostio_.exitCode(); }
+
+    /** Outcome of the last run() (kExited before any run). */
+    RunStatus status() const { return status_; }
+    /** Hang diagnostic (last PC, pending irqs, unit FSM state); empty
+     *  unless status() == kNoRetire. */
+    const std::string &statusDiagnostic() const { return diagnostic_; }
+    /** Scheduling-kernel throughput counters. */
+    const SimKernelStats &kernelStats() const { return kernel_.stats(); }
 
     HostIo &hostIo() { return hostio_; }
     SwitchRecorder &recorder() { return recorder_; }
@@ -81,11 +105,44 @@ class Simulation : public CoreListener, public PhaseObserver
     Word readSymbolWord(const std::string &symbol);
 
   private:
+    /** Per-cycle SharedPort resets folded into one kernel component
+     *  (they used to be two unconditional calls in the run loop). */
+    class PortReset : public Clocked
+    {
+      public:
+        PortReset(SharedPort &a, SharedPort &b) : a_(a), b_(b) {}
+
+        void
+        tick(Cycle now) override
+        {
+            (void)now;
+            a_.beginCycle();
+            b_.beginCycle();
+        }
+
+        /** Resetting claim flags nobody reads during a skip is dead
+         *  work; the first tick after the skip re-runs it anyway. */
+        Cycle
+        nextEventAt(Cycle now) const override
+        {
+            (void)now;
+            return kNoEvent;
+        }
+
+      private:
+        SharedPort &a_;
+        SharedPort &b_;
+    };
+
     void trapTaken(Word cause, Cycle entry_cycle) override;
     void mretCompleted(Cycle cycle) override;
     void phaseReached(SwitchPhase phase, Cycle cycle) override;
 
     Word currentGuestTask();
+
+    /** Retired-work counter driving the no-retire watchdog. */
+    std::uint64_t progressCount() const;
+    void noRetireAbort();
 
     SimConfig config_;
     const Program &program_;
@@ -101,6 +158,8 @@ class Simulation : public CoreListener, public PhaseObserver
     Executor exec_;
     SharedPort dmemPort_;
     SharedPort busPort_;
+    PortReset portReset_;
+    SimKernel kernel_;
 
     std::unique_ptr<UnitMemPort> unitPort_;
     std::unique_ptr<RtosUnit> unit_;
@@ -108,7 +167,8 @@ class Simulation : public CoreListener, public PhaseObserver
     std::unique_ptr<Core> core_;
 
     SwitchRecorder recorder_;
-    Cycle now_ = 0;
+    RunStatus status_ = RunStatus::kExited;
+    std::string diagnostic_;
     Addr taskIdAddr_ = 0;
 };
 

@@ -24,6 +24,7 @@
 #include "common/types.hh"
 #include "cores/arch_state.hh"
 #include "cores/rtosunit_port.hh"
+#include "sim/kernel.hh"
 #include "trace/trace.hh"
 #include "unit_mem.hh"
 
@@ -36,7 +37,7 @@ struct Cv32rtStats
     std::uint64_t barrierStallCycles = 0;
 };
 
-class Cv32rtUnit : public RtosUnitPort
+class Cv32rtUnit : public RtosUnitPort, public Clocked
 {
   public:
     /** Snapshot covers x16..x31. */
@@ -51,7 +52,21 @@ class Cv32rtUnit : public RtosUnitPort
         : state_(state), port_(port), cache_(cache)
     {}
 
-    void tick(Cycle now);
+    void tick(Cycle now) override;
+
+    /** `now` while the background drain (or its port) is busy. */
+    Cycle
+    nextEventAt(Cycle now) const override
+    {
+        return (drainBusy() || !port_.idle()) ? now : kNoEvent;
+    }
+
+    /** Quiescent cycles only advance the port's internal clock. */
+    void
+    skipTo(Cycle now, Cycle target) override
+    {
+        port_.skipCycles(target - now);
+    }
 
     /** Phase tracing: store-done fires when the drain completes. */
     void setPhaseObserver(PhaseObserver *observer)

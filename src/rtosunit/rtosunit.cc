@@ -477,4 +477,63 @@ RtosUnit::tick(Cycle now)
         ++stats_.busyCycles;
 }
 
+bool
+RtosUnit::wouldStartPreload() const
+{
+    // Mirror of stepPreloader()'s spontaneous-start conditions; the
+    // FSM-busy cases are excluded by the caller.
+    if (!config_.preload || preActive_ || ready_.sorting())
+        return false;
+    TaskId head;
+    if (!ready_.peekHead(&head))
+        return false;
+    if (head == currentCtxId_)
+        return false;
+    if (preBufValid_ && preBufId_ == head)
+        return false;
+    return true;
+}
+
+Cycle
+RtosUnit::nextEventAt(Cycle now) const
+{
+    if (storeActive_ || restoreActive_ || restorePending_ ||
+        preActive_ || preAborting_) {
+        return now;
+    }
+    if (ready_.sorting() || delay_.sorting())
+        return now;
+    for (const HwSemaphore &s : sems_) {
+        if (s.waiters->sorting())
+            return now;
+    }
+    if (config_.sched && delay_.transferring())
+        return now;
+    if (!port_.idle())
+        return now;
+    if (wouldStartPreload())
+        return now;
+    // Only a core instruction or trap hook can wake the unit now.
+    return kNoEvent;
+}
+
+void
+RtosUnit::skipTo(Cycle now, Cycle target)
+{
+    port_.skipCycles(target - now);
+}
+
+std::string
+RtosUnit::fsmState() const
+{
+    return csprintf(
+        "store=%d restore=%d restorePending=%d pre=%d preAbort=%d "
+        "sorting(ready=%d delay=%d) transferring=%d portIdle=%d "
+        "ctxId=%u",
+        storeActive_, restoreActive_, restorePending_, preActive_,
+        preAborting_, ready_.sorting(), delay_.sorting(),
+        config_.sched && delay_.transferring(), port_.idle(),
+        static_cast<unsigned>(currentCtxId_));
+}
+
 } // namespace rtu

@@ -27,11 +27,14 @@
 #include <memory>
 #include <vector>
 
+#include <string>
+
 #include "common/types.hh"
 #include "config.hh"
 #include "cores/arch_state.hh"
 #include "cores/rtosunit_port.hh"
 #include "hw_lists.hh"
+#include "sim/kernel.hh"
 #include "sim/memmap.hh"
 #include "trace/trace.hh"
 #include "unit_mem.hh"
@@ -68,7 +71,7 @@ struct RtosUnitStats
     std::uint64_t semWakes = 0;
 };
 
-class RtosUnit : public RtosUnitPort
+class RtosUnit : public RtosUnitPort, public Clocked
 {
   public:
     RtosUnit(const RtosUnitConfig &config, ArchState &state,
@@ -77,7 +80,18 @@ class RtosUnit : public RtosUnitPort
     const RtosUnitConfig &config() const { return config_; }
 
     /** Advance one clock cycle (called after the core's tick). */
-    void tick(Cycle now);
+    void tick(Cycle now) override;
+
+    /** `now` while any FSM, sort, transfer, prefetch or port request
+     *  is (or would go) active this cycle; kNoEvent when the unit can
+     *  only be woken by a core instruction or trap hook. */
+    Cycle nextEventAt(Cycle now) const override;
+
+    /** Quiescent cycles only advance the port's internal clock. */
+    void skipTo(Cycle now, Cycle target) override;
+
+    /** One-line FSM state description for hang diagnostics. */
+    std::string fsmState() const;
 
     /**
      * Phase tracing: @p clock is the simulation's cycle counter (so
@@ -127,6 +141,8 @@ class RtosUnit : public RtosUnitPort
     void stepPreloader();
     void abortPreload();
     void notifyPhase(SwitchPhase phase);
+    /** Would stepPreloader() spontaneously start a prefetch now? */
+    bool wouldStartPreload() const;
 
     RtosUnitConfig config_;
     ArchState &state_;

@@ -60,6 +60,10 @@ class UnitMemPort
     /** Advance internal pipelining one cycle. */
     virtual void tick() = 0;
 
+    /** Bulk-advance an internal clock across @p delta quiescent
+     *  cycles (ports without one ignore this). */
+    virtual void skipCycles(Cycle delta) { (void)delta; }
+
     UnitMemStats &stats() { return stats_; }
 
   protected:

@@ -53,6 +53,43 @@ Clint::tick(Cycle now)
     updateLevels(now);
 }
 
+Cycle
+Clint::nextEventAt(Cycle now) const
+{
+    // MSI levels only move inside write() (which updates them
+    // synchronously), so a tick never changes them — unless some
+    // state drift left the line out of sync. Be conservative then.
+    if ((msip_ != 0) != ((lines_.pending() & irq::kMsi) != 0))
+        return now;
+
+    bool mtiPending = (lines_.pending() & irq::kMti) != 0;
+    if (mtiPending) {
+        // timerTaken() may have advanced mtimecmp past mtime while
+        // the line is still raised; the very next tick clears it.
+        if (mtime_ + 1 < mtimecmp_)
+            return now;
+        return kNoEvent;  // line stays raised; mtime only grows
+    }
+    if (mtime_ + 1 >= mtimecmp_)
+        return now;  // next tick raises MTIP
+    // The tick at now + (mtimecmp - mtime - 1) brings mtime up to
+    // mtimecmp and raises the line.
+    DWord delta = mtimecmp_ - mtime_ - 1;
+    if (delta >= kNoEvent - now)
+        return kNoEvent;  // unreachable deadline (e.g. cmp = ~0)
+    return now + delta;
+}
+
+void
+Clint::skipTo(Cycle now, Cycle target)
+{
+    // Replicates `target - now` pure ticks: mtime advances, levels
+    // provably don't move (guaranteed by nextEventAt), and now_ ends
+    // up where the last replicated tick would have left it.
+    mtime_ += target - now;
+    now_ = target - 1;
+}
+
 void
 Clint::updateLevels(Cycle now)
 {

@@ -11,12 +11,13 @@
 
 #include "common/types.hh"
 #include "irq.hh"
+#include "kernel.hh"
 #include "mem.hh"
 #include "memmap.hh"
 
 namespace rtu {
 
-class Clint : public MemDevice
+class Clint : public MemDevice, public Clocked
 {
   public:
     explicit Clint(IrqLines &lines)
@@ -28,7 +29,13 @@ class Clint : public MemDevice
     void write(Addr addr, Word value, MemSize size) override;
 
     /** Advance mtime by one cycle and update MTIP/MSIP levels. */
-    void tick(Cycle now);
+    void tick(Cycle now) override;
+
+    /** Next tick at which the MTIP/MSIP line levels can change. */
+    Cycle nextEventAt(Cycle now) const override;
+
+    /** Bulk-advance mtime across a quiescent stretch. */
+    void skipTo(Cycle now, Cycle target) override;
 
     /**
      * Enable hardware auto-reset (RTOSUnit (T) feature): when the core

@@ -10,9 +10,9 @@ HostIo::read(Addr addr, MemSize size)
     rtu_assert(size == MemSize::kWord, "host I/O requires word access");
     switch (addr) {
       case memmap::kHostCycleLo:
-        return static_cast<Word>(now_);
+        return static_cast<Word>(cycleNow());
       case memmap::kHostCycleHi:
-        return static_cast<Word>(now_ >> 32);
+        return static_cast<Word>(cycleNow() >> 32);
       case memmap::kHostRand:
         // xorshift32: deterministic across runs, data-dependent enough
         // to vary workload compute phases.
@@ -39,7 +39,7 @@ HostIo::write(Addr addr, Word value, MemSize size)
         exitCode_ = value;
         break;
       case memmap::kHostTrace:
-        events_.push_back({now_, static_cast<std::uint8_t>(value >> 24),
+        events_.push_back({cycleNow(), static_cast<std::uint8_t>(value >> 24),
                            value & 0x00FF'FFFF});
         break;
       case memmap::kHostExtAck:

@@ -36,7 +36,12 @@ class HostIo : public MemDevice
     Word read(Addr addr, MemSize size) override;
     void write(Addr addr, Word value, MemSize size) override;
 
+    /** Legacy per-cycle timestamp push (tests, standalone use). */
     void setCycle(Cycle now) { now_ = now; }
+
+    /** Bind directly to the kernel's cycle counter: the device reads
+     *  the time on demand instead of being pushed a copy each cycle. */
+    void bindClock(const Cycle *clock) { clock_ = clock; }
 
     bool exited() const { return exited_; }
     Word exitCode() const { return exitCode_; }
@@ -47,8 +52,11 @@ class HostIo : public MemDevice
     std::vector<GuestEvent> eventsWithTag(std::uint8_t tag) const;
 
   private:
+    Cycle cycleNow() const { return clock_ ? *clock_ : now_; }
+
     IrqLines &lines_;
     ExtIrqDriver &ext_;
+    const Cycle *clock_ = nullptr;
     Cycle now_ = 0;
     bool exited_ = false;
     Word exitCode_ = 0;

@@ -7,10 +7,13 @@
 #ifndef RTU_SIM_IRQ_HH
 #define RTU_SIM_IRQ_HH
 
+#include <algorithm>
+#include <cstddef>
 #include <vector>
 
 #include "asm/insn.hh"
 #include "common/types.hh"
+#include "kernel.hh"
 
 namespace rtu {
 
@@ -61,30 +64,61 @@ class IrqLines
 
 /**
  * Drives the external interrupt (MEIP) at scheduled cycles; the guest
- * acknowledges via the host-I/O ext-ack register.
+ * acknowledges via the host-I/O ext-ack register. Events are kept
+ * sorted with a consumed-prefix cursor, so both the per-cycle tick and
+ * the next-event query are O(1) amortized.
  */
-class ExtIrqDriver
+class ExtIrqDriver : public Clocked
 {
   public:
+    explicit ExtIrqDriver(IrqLines &lines) : lines_(lines) {}
+
     void
     schedule(Cycle at)
     {
-        events_.push_back(at);
+        events_.insert(
+            std::upper_bound(events_.begin() +
+                                 static_cast<std::ptrdiff_t>(cursor_),
+                             events_.end(), at),
+            at);
     }
 
     void
-    tick(Cycle now, IrqLines &lines)
+    tick(Cycle now) override
     {
-        for (Cycle at : events_) {
-            if (at == now)
-                lines.raise(irq::kMei, now);
+        while (cursor_ < events_.size() && events_[cursor_] <= now) {
+            if (events_[cursor_] == now)
+                lines_.raise(irq::kMei, now);
+            ++cursor_;
         }
+    }
+
+    Cycle
+    nextEventAt(Cycle now) const override
+    {
+        for (std::size_t i = cursor_; i < events_.size(); ++i) {
+            if (events_[i] >= now)
+                return events_[i];
+        }
+        return kNoEvent;
+    }
+
+    void
+    skipTo(Cycle now, Cycle target) override
+    {
+        (void)now;
+        // Quiescence guarantees no event in [now, target); anything
+        // below the cursor's new floor is consumed.
+        while (cursor_ < events_.size() && events_[cursor_] < target)
+            ++cursor_;
     }
 
     void ack(IrqLines &lines) { lines.clear(irq::kMei); }
 
   private:
+    IrqLines &lines_;
     std::vector<Cycle> events_;
+    std::size_t cursor_ = 0;
 };
 
 } // namespace rtu

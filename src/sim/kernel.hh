@@ -1,0 +1,156 @@
+/**
+ * @file
+ * The discrete-event simulation kernel.
+ *
+ * Clocked components register with a SimKernel; each reports, via
+ * nextEventAt(), the earliest cycle at which it may change observable
+ * state (interact with another component, raise an interrupt line,
+ * fire a listener, sample an external input). On cycles where every
+ * component's next event lies in the future the kernel fast-forwards
+ * `now_` to the global minimum in one step instead of ticking
+ * cycle-by-cycle; each component's skipTo() replicates exactly the
+ * bulk per-cycle effects (counter increments, mtime advance, ROB
+ * retirement) that the skipped reference ticks would have performed,
+ * so a fast-forwarded run is byte-identical to the per-cycle one.
+ *
+ * A second protocol covers cycle-exact *periodic* execution (an idle
+ * or background spin loop): a component whose state provably recurs
+ * with period P reports the stride via stridePeriod(); when it is the
+ * only active component the kernel advances in whole multiples of P
+ * bounded by the earliest foreign event, so the loop phase — and
+ * therefore interrupt arrival phase and jitter — is preserved
+ * bit-exactly.
+ */
+
+#ifndef RTU_SIM_KERNEL_HH
+#define RTU_SIM_KERNEL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace rtu {
+
+/** Sentinel for "no future event": the component is fully quiescent
+ *  until some other component acts on it. */
+constexpr Cycle kNoEvent = ~Cycle{0};
+
+/**
+ * A clocked component. The contract:
+ *  - tick(now) advances one cycle (legacy per-cycle semantics);
+ *  - nextEventAt(now) returns the earliest cycle >= now at which the
+ *    component may change observable state. Returning `now` ("always
+ *    active") is always safe; kNoEvent means quiescent forever.
+ *    Every tick in [now, nextEventAt(now)) must be *pure*: free of
+ *    interaction with other components and exactly replicated by
+ *    skipTo();
+ *  - skipTo(now, target) applies the bulk effect of the pure ticks in
+ *    [now, target), target <= the cycle reported by nextEventAt(now).
+ */
+class Clocked
+{
+  public:
+    virtual ~Clocked() = default;
+
+    /** Advance one clock cycle. */
+    virtual void tick(Cycle now) = 0;
+
+    /** Earliest cycle >= @p now at which observable state may change.
+     *  Default: always active (conservative — never skipped). */
+    virtual Cycle nextEventAt(Cycle now) const { return now; }
+
+    /** Replicate the pure ticks in [@p now, @p target). */
+    virtual void
+    skipTo(Cycle now, Cycle target)
+    {
+        (void)now;
+        (void)target;
+    }
+
+    /**
+     * Cycle-exact periodicity: non-zero iff, starting from the state
+     * at @p now, execution provably repeats with this period (same
+     * state, same per-period counter deltas, no side effects outside
+     * the component). 0 = no stride available.
+     */
+    virtual Cycle
+    stridePeriod(Cycle now) const
+    {
+        (void)now;
+        return 0;
+    }
+
+    /** Apply @p periods whole strides worth of counter deltas; the
+     *  architectural state is unchanged by definition of the stride. */
+    virtual void
+    applyStride(Cycle now, std::uint64_t periods)
+    {
+        (void)now;
+        (void)periods;
+    }
+};
+
+/** Throughput accounting (all fields deterministic). */
+struct SimKernelStats
+{
+    std::uint64_t cyclesTicked = 0;    ///< cycles executed per-cycle
+    std::uint64_t cyclesSkipped = 0;   ///< cycles fast-forwarded
+    std::uint64_t fastForwards = 0;    ///< quiescent-gap skips
+    std::uint64_t strideSkips = 0;     ///< periodic-loop skips
+    std::uint64_t strideCyclesSkipped = 0;  ///< subset of cyclesSkipped
+};
+
+class SimKernel
+{
+  public:
+    /** Register a component. Ticks run in registration order — the
+     *  order therefore defines intra-cycle sequencing, exactly like
+     *  the statement order of a hand-written tick loop. */
+    void add(Clocked *component);
+
+    Cycle now() const { return now_; }
+
+    /** Stable address of the cycle counter (for mcycle, tracing). */
+    const Cycle *clockPtr() const { return &now_; }
+
+    /**
+     * Earliest cycle in [now, limit] at which any component may
+     * change state: the min-reduction over nextEventAt(), clamped to
+     * @p limit. Registration order cannot affect the result.
+     */
+    Cycle nextEventCycle(Cycle limit) const;
+
+    /**
+     * Attempt one fast-forward bounded by @p limit: if no component
+     * is active now, skip to the earliest future event; if the only
+     * active component offers a stride, advance by whole periods.
+     * @return true if `now` advanced (no ticks were executed).
+     *
+     * Failed attempts back off exponentially (up to 32 cycles): the
+     * min-reduction itself costs a virtual call per component per
+     * cycle, which on busy stretches outweighs what skipping buys.
+     * Deferring an attempt only means those cycles are ticked instead
+     * of skipped — results stay byte-identical by the Clocked
+     * contract; only the ticked/skipped split in the stats moves.
+     */
+    bool fastForward(Cycle limit);
+
+    /** Tick every component at `now` (registration order), then
+     *  advance one cycle. */
+    void tickOne();
+
+    const SimKernelStats &stats() const { return stats_; }
+
+  private:
+    std::vector<Clocked *> components_;
+    Cycle now_ = 0;
+    /** Next cycle worth probing for a skip, and the current penalty. */
+    Cycle nextAttempt_ = 0;
+    Cycle backoff_ = 1;
+    SimKernelStats stats_;
+};
+
+} // namespace rtu
+
+#endif // RTU_SIM_KERNEL_HH

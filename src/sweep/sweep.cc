@@ -76,7 +76,8 @@ SweepSpec::points() const
 }
 
 SweepResult
-runSweepPoint(const SweepPoint &point, bool capture_trace)
+runSweepPoint(const SweepPoint &point, bool capture_trace,
+              bool fast_forward)
 {
     SweepResult out;
     out.point = point;
@@ -87,6 +88,7 @@ runSweepPoint(const SweepPoint &point, bool capture_trace)
     opts.timerPeriodCycles = point.timerPeriodCycles;
     opts.naxCtxQueueEntries = point.naxCtxQueueEntries;
     opts.seed = point.seed;
+    opts.fastForward = fast_forward;
 
     if (capture_trace) {
         std::ostringstream trace;
@@ -113,7 +115,8 @@ SweepRunner::runPoints(const std::vector<SweepPoint> &pts,
 
     if (workers == 1) {
         for (size_t i = 0; i < pts.size(); ++i)
-            results[i] = runSweepPoint(pts[i], capture_trace);
+            results[i] = runSweepPoint(pts[i], capture_trace,
+                                       fastForward_);
         return results;
     }
 
@@ -127,7 +130,8 @@ SweepRunner::runPoints(const std::vector<SweepPoint> &pts,
                                               std::memory_order_relaxed);
             if (i >= pts.size())
                 return;
-            results[i] = runSweepPoint(pts[i], capture_trace);
+            results[i] = runSweepPoint(pts[i], capture_trace,
+                                       fastForward_);
         }
     };
 
@@ -148,7 +152,8 @@ SweepRunner::run(const SweepSpec &spec, bool capture_trace) const
 
 void
 writeResultsJsonl(std::ostream &os,
-                  const std::vector<SweepResult> &results)
+                  const std::vector<SweepResult> &results,
+                  bool include_timing)
 {
     for (const SweepResult &r : results) {
         const RunResult &run = r.run;
@@ -162,7 +167,24 @@ writeResultsJsonl(std::ostream &os,
            << ",\"seed\":" << r.point.seed
            << ",\"ok\":" << (run.ok ? "true" : "false")
            << ",\"exit_code\":" << run.exitCode
-           << ",\"cycles\":" << run.cycles;
+           << ",\"status\":\"" << runStatusName(run.status)
+           << "\",\"cycles\":" << run.cycles
+           << ",\"cycles_ticked\":" << run.throughput.cyclesTicked
+           << ",\"cycles_skipped\":" << run.throughput.cyclesSkipped;
+        if (include_timing) {
+            // Wall time is nondeterministic; callers wanting the
+            // byte-stability contract keep it off (the default).
+            char wall[32], mips[32];
+            std::snprintf(wall, sizeof(wall), "%.3f",
+                          run.throughput.wallSeconds * 1e3);
+            const double secs = run.throughput.wallSeconds;
+            std::snprintf(mips, sizeof(mips), "%.3f",
+                          secs > 0.0
+                              ? static_cast<double>(
+                                    run.coreStats.instret) / secs / 1e6
+                              : 0.0);
+            os << ",\"wall_ms\":" << wall << ",\"mips\":" << mips;
+        }
         const SampleStats &s = run.switchLatency;
         os << ",\"switches\":" << s.count();
         if (!s.empty()) {

@@ -98,16 +98,33 @@ class SweepRunner
 
     unsigned threads() const { return threads_; }
 
+    /**
+     * Simulation-kernel fast-forward for every point of this runner
+     * (default on). A runner knob rather than a SweepPoint field: the
+     * two modes are exact by construction, so they share one point
+     * key — and the explorer's cache keys must not change.
+     */
+    void setFastForward(bool enable) { fastForward_ = enable; }
+    bool fastForward() const { return fastForward_; }
+
   private:
     unsigned threads_;
+    bool fastForward_ = true;
 };
 
 /** Execute a single grid point (what each worker runs). */
-SweepResult runSweepPoint(const SweepPoint &point, bool capture_trace);
+SweepResult runSweepPoint(const SweepPoint &point, bool capture_trace,
+                          bool fast_forward = true);
 
-/** Serialize one result line per point (JSONL, deterministic). */
+/**
+ * Serialize one result line per point (JSONL, deterministic). The
+ * run status and exact cycles-ticked/skipped counters are always
+ * emitted; @p include_timing adds the nondeterministic wall_ms/mips
+ * fields (off by default so the stream stays byte-stable).
+ */
 void writeResultsJsonl(std::ostream &os,
-                       const std::vector<SweepResult> &results);
+                       const std::vector<SweepResult> &results,
+                       bool include_timing = false);
 
 /** Concatenate the captured per-point traces in grid order. */
 void writeTraceJsonl(std::ostream &os,

@@ -91,14 +91,29 @@ TEST_F(ClintTest, WithoutAutoResetTakenTimerDoesNothing)
 
 TEST_F(ClintTest, ExtIrqDriverAssertsAtScheduledCycle)
 {
-    ExtIrqDriver ext;
+    ExtIrqDriver ext(irq);
     ext.schedule(5);
-    ext.tick(4, irq);
+    ext.tick(4);
     EXPECT_EQ(irq.pending() & irq::kMei, 0u);
-    ext.tick(5, irq);
+    ext.tick(5);
     EXPECT_NE(irq.pending() & irq::kMei, 0u);
     ext.ack(irq);
     EXPECT_EQ(irq.pending() & irq::kMei, 0u);
+}
+
+TEST_F(ClintTest, ExtIrqDriverNextEventTracksSchedule)
+{
+    ExtIrqDriver ext(irq);
+    EXPECT_EQ(ext.nextEventAt(0), kNoEvent);
+    ext.schedule(20);
+    ext.schedule(7);  // out-of-order insert keeps the queue sorted
+    EXPECT_EQ(ext.nextEventAt(0), 7u);
+    ext.tick(7);
+    EXPECT_NE(irq.pending() & irq::kMei, 0u);
+    EXPECT_EQ(ext.nextEventAt(8), 20u);
+    // A skip across the second event consumes it without asserting.
+    ext.skipTo(8, 21);
+    EXPECT_EQ(ext.nextEventAt(21), kNoEvent);
 }
 
 } // namespace

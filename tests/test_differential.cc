@@ -1,0 +1,101 @@
+/** Differential harness for the scheduling kernel: every paper
+ *  configuration (plus the +HS extension points) x every workload runs
+ *  once with event-driven fast-forward and once in per-cycle reference
+ *  mode; episode traces, cycle counts, status and all counters must be
+ *  byte-identical. This is the contract that makes the fast-forward
+ *  path trustworthy for the paper's latency/jitter numbers. */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "rtosunit/config.hh"
+#include "sweep/sweep.hh"
+
+namespace rtu {
+namespace {
+
+/** paperConfigs() + the three +HS composition points — the same
+ *  matrix the lint gate walks (see analyze/linter.cc). */
+std::vector<RtosUnitConfig>
+matrixConfigs()
+{
+    std::vector<RtosUnitConfig> units = RtosUnitConfig::paperConfigs();
+    for (const char *name : {"ST", "SDLOT", "SPLIT"}) {
+        RtosUnitConfig u = RtosUnitConfig::fromName(name);
+        u.hwsync = true;
+        units.push_back(u);
+    }
+    return units;
+}
+
+TEST(Differential, FastForwardMatchesReferenceAcrossTheMatrix)
+{
+    const std::vector<RtosUnitConfig> units = matrixConfigs();
+    const std::array<const char *, 7> workloads = {
+        "yield_pingpong", "round_robin",   "mutex_workload",
+        "delay_wake",     "sem_pingpong",  "priority_preempt",
+        "ext_interrupt"};
+    const std::array<CoreKind, 3> cores = {
+        CoreKind::kCv32e40p, CoreKind::kCva6, CoreKind::kNax};
+
+    size_t idx = 0;
+    for (const RtosUnitConfig &unit : units) {
+        for (const char *w : workloads) {
+            SweepPoint p;
+            // Round-robin the cores over the matrix: each core model
+            // still sees every configuration and every workload.
+            p.core = cores[idx % cores.size()];
+            p.unit = unit;
+            p.workload = w;
+            p.iterations = 3;
+            p.reseed();
+            ++idx;
+
+            const SweepResult ff = runSweepPoint(p, true, true);
+            const SweepResult ref = runSweepPoint(p, true, false);
+            const std::string key = p.key();
+
+            // The reference mode never skips; fast-forward must
+            // account for every reference cycle exactly once.
+            EXPECT_EQ(ref.run.throughput.cyclesSkipped, 0u) << key;
+            EXPECT_EQ(ff.run.throughput.cyclesTicked +
+                          ff.run.throughput.cyclesSkipped,
+                      ref.run.throughput.cyclesTicked)
+                << key;
+
+            EXPECT_EQ(ff.run.ok, ref.run.ok) << key;
+            EXPECT_EQ(ff.run.status, ref.run.status) << key;
+            EXPECT_EQ(ff.run.exitCode, ref.run.exitCode) << key;
+            EXPECT_EQ(ff.run.cycles, ref.run.cycles) << key;
+
+            const CoreStats &a = ff.run.coreStats;
+            const CoreStats &b = ref.run.coreStats;
+            EXPECT_EQ(a.instret, b.instret) << key;
+            EXPECT_EQ(a.traps, b.traps) << key;
+            EXPECT_EQ(a.mrets, b.mrets) << key;
+            EXPECT_EQ(a.wfiCycles, b.wfiCycles) << key;
+            EXPECT_EQ(a.memOps, b.memOps) << key;
+            EXPECT_EQ(a.stallCycles, b.stallCycles) << key;
+            EXPECT_EQ(a.branchMispredicts, b.branchMispredicts) << key;
+            EXPECT_EQ(a.cacheMisses, b.cacheMisses) << key;
+
+            EXPECT_TRUE(ff.run.switchLatency.samples() ==
+                        ref.run.switchLatency.samples())
+                << key << ": switch-latency samples differ";
+            EXPECT_TRUE(ff.run.episodeLatency.samples() ==
+                        ref.run.episodeLatency.samples())
+                << key << ": episode-latency samples differ";
+            EXPECT_TRUE(ff.trace == ref.trace)
+                << key << ": episode trace JSONL differs ("
+                << ff.trace.size() << " vs " << ref.trace.size()
+                << " bytes)";
+        }
+    }
+    EXPECT_EQ(idx, 105u);  // 15 configurations x 7 workloads
+}
+
+} // namespace
+} // namespace rtu
