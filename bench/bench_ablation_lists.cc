@@ -17,6 +17,7 @@
 #include <fstream>
 #include <string>
 
+#include "common/argparse.hh"
 #include "common/logging.hh"
 #include "sweep/sweep.hh"
 #include "workloads/workloads.hh"
@@ -27,16 +28,16 @@ int
 main(int argc, char **argv)
 {
     unsigned threads = 1;
-    bool fast_forward = true;
+    bool no_fast_forward = false;
     std::string out_path;
-    for (int i = 1; i < argc; ++i) {
-        if (!std::strcmp(argv[i], "--threads") && i + 1 < argc)
-            threads = static_cast<unsigned>(std::max(1, std::atoi(argv[++i])));
-        else if (!std::strcmp(argv[i], "--out") && i + 1 < argc)
-            out_path = argv[++i];
-        else if (!std::strcmp(argv[i], "--no-fast-forward"))
-            fast_forward = false;
-    }
+    ArgParser parser("Ablation: hardware list length vs switch latency "
+                     "on CV32E40P (T)");
+    parser.addUnsigned("--threads", &threads, "worker threads");
+    parser.addString("--out", &out_path, "JSONL output path");
+    parser.addFlag("--no-fast-forward", &no_fast_forward,
+                   "tick every cycle (reference mode)");
+    parser.parse(argc, argv);
+    const bool fast_forward = !no_fast_forward;
     setQuiet(true);
 
     SweepSpec spec;

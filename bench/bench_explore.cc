@@ -18,6 +18,7 @@
  *                      [--objectives lat_mean,jitter,area]
  *                      [--constraint area<=1.35]... [--minimize OBJ]
  *                      [--cache-dir DIR] [--threads N]
+ *                      [--robust-faults N] [--robust-seed S]
  *                      [--out explore.json] [--md frontier.md]
  */
 
@@ -28,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "common/argparse.hh"
 #include "common/logging.hh"
 #include "explore/explorer.hh"
 #include "workloads/workloads.hh"
@@ -80,50 +82,67 @@ main(int argc, char **argv)
     Objective minimize = Objective::kLatMean;
     std::string out_path, md_path;
 
-    for (int i = 1; i < argc; ++i) {
-        const auto next = [&](const char *flag) -> const char * {
-            if (i + 1 >= argc)
-                fatal("%s needs a value", flag);
-            return argv[++i];
-        };
-        if (!std::strcmp(argv[i], "--cores")) {
-            spec.cores.clear();
-            for (const std::string &n : splitList(next("--cores")))
-                spec.cores.push_back(coreFromName(n));
-        } else if (!std::strcmp(argv[i], "--configs")) {
-            spec.units.clear();
-            for (const std::string &n : splitList(next("--configs")))
-                spec.units.push_back(RtosUnitConfig::fromName(n));
-        } else if (!std::strcmp(argv[i], "--workloads")) {
-            spec.workloads = splitList(next("--workloads"));
-        } else if (!std::strcmp(argv[i], "--iterations")) {
-            spec.iterations = static_cast<unsigned>(
-                std::max(1, std::atoi(next("--iterations"))));
-        } else if (!std::strcmp(argv[i], "--threads")) {
-            spec.threads = static_cast<unsigned>(
-                std::max(1, std::atoi(next("--threads"))));
-        } else if (!std::strcmp(argv[i], "--objectives")) {
-            objectives.clear();
-            for (const std::string &n : splitList(next("--objectives")))
-                objectives.push_back(objectiveFromName(n));
-        } else if (!std::strcmp(argv[i], "--constraint")) {
-            spec.constraints.push_back(
-                parseConstraint(next("--constraint")));
-        } else if (!std::strcmp(argv[i], "--minimize")) {
-            minimize = objectiveFromName(next("--minimize"));
-            haveMinimize = true;
-        } else if (!std::strcmp(argv[i], "--cache-dir")) {
-            spec.cacheDir = next("--cache-dir");
-        } else if (!std::strcmp(argv[i], "--out")) {
-            out_path = next("--out");
-        } else if (!std::strcmp(argv[i], "--md")) {
-            md_path = next("--md");
-        } else if (!std::strcmp(argv[i], "--no-wcet")) {
-            spec.computeWcet = false;
-        } else {
-            fatal("unknown flag '%s'", argv[i]);
-        }
+    std::string cores_arg, configs_arg, workloads_arg, objectives_arg;
+    std::string minimize_arg;
+    std::vector<std::string> constraint_args;
+    bool no_wcet = false;
+
+    ArgParser parser("Co-exploration over the {core} x {config} design "
+                     "grid with Pareto frontiers and constrained "
+                     "queries");
+    parser.addString("--cores", &cores_arg,
+                     "comma list: cv32e40p,cva6,nax (default all)");
+    parser.addString("--configs", &configs_arg,
+                     "comma list of RTOSUnit configurations");
+    parser.addString("--workloads", &workloads_arg,
+                     "comma list (default: standard suite)");
+    parser.addUnsigned("--iterations", &spec.iterations,
+                       "workload iterations per run");
+    parser.addUnsigned("--threads", &spec.threads, "worker threads");
+    parser.addString("--objectives", &objectives_arg,
+                     "comma list (default lat_mean,jitter,area)");
+    parser.addStringList("--constraint", &constraint_args,
+                         "feasibility bound, e.g. area<=1.35 "
+                         "(repeatable)");
+    parser.addString("--minimize", &minimize_arg,
+                     "objective of the constrained query");
+    parser.addString("--cache-dir", &spec.cacheDir,
+                     "persistent result cache directory");
+    parser.addUnsigned("--robust-faults", &spec.robustnessFaults,
+                       "fault-injection runs per design point; adds "
+                       "the detect objective");
+    parser.addU64("--robust-seed", &spec.robustnessSeed,
+                  "campaign seed of the robustness objective");
+    parser.addString("--out", &out_path, "JSON report path");
+    parser.addString("--md", &md_path, "markdown frontier table path");
+    parser.addFlag("--no-wcet", &no_wcet,
+                   "skip the static WCET objective");
+    parser.parse(argc, argv);
+
+    if (!cores_arg.empty()) {
+        spec.cores.clear();
+        for (const std::string &n : splitList(cores_arg))
+            spec.cores.push_back(coreFromName(n));
     }
+    if (!configs_arg.empty()) {
+        spec.units.clear();
+        for (const std::string &n : splitList(configs_arg))
+            spec.units.push_back(RtosUnitConfig::fromName(n));
+    }
+    if (!workloads_arg.empty())
+        spec.workloads = splitList(workloads_arg);
+    if (!objectives_arg.empty()) {
+        objectives.clear();
+        for (const std::string &n : splitList(objectives_arg))
+            objectives.push_back(objectiveFromName(n));
+    }
+    for (const std::string &c : constraint_args)
+        spec.constraints.push_back(parseConstraint(c));
+    if (!minimize_arg.empty()) {
+        minimize = objectiveFromName(minimize_arg);
+        haveMinimize = true;
+    }
+    spec.computeWcet = !no_wcet;
     if (objectives.empty())
         fatal("--objectives must name at least one objective");
     // Constraints imply a query; default to the paper's primary

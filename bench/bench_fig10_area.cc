@@ -14,6 +14,7 @@
 
 #include "asic/asic.hh"
 #include "common/json.hh"
+#include "common/argparse.hh"
 #include "common/logging.hh"
 
 using namespace rtu;
@@ -23,14 +24,12 @@ main(int argc, char **argv)
 {
     bool breakdown = false;
     std::string out_path;
-    for (int i = 1; i < argc; ++i) {
-        if (!std::strcmp(argv[i], "--breakdown"))
-            breakdown = true;
-        else if (!std::strcmp(argv[i], "--out") && i + 1 < argc)
-            out_path = argv[++i];
-        else
-            fatal("unknown flag '%s'", argv[i]);
-    }
+    ArgParser parser("Figure 10: normalized ASIC area per core and "
+                     "RTOSUnit configuration");
+    parser.addFlag("--breakdown", &breakdown,
+                   "print the per-structure area breakdown");
+    parser.addString("--out", &out_path, "JSONL output path");
+    parser.parse(argc, argv);
 
     std::ofstream os;
     if (!out_path.empty()) {

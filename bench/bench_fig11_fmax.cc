@@ -12,6 +12,7 @@
 
 #include "asic/asic.hh"
 #include "common/json.hh"
+#include "common/argparse.hh"
 #include "common/logging.hh"
 
 using namespace rtu;
@@ -20,12 +21,10 @@ int
 main(int argc, char **argv)
 {
     std::string out_path;
-    for (int i = 1; i < argc; ++i) {
-        if (!std::strcmp(argv[i], "--out") && i + 1 < argc)
-            out_path = argv[++i];
-        else
-            fatal("unknown flag '%s'", argv[i]);
-    }
+    ArgParser parser("Figure 11: achievable ASIC f_max per core and "
+                     "RTOSUnit configuration");
+    parser.addString("--out", &out_path, "JSONL output path");
+    parser.parse(argc, argv);
 
     std::ofstream os;
     if (!out_path.empty()) {

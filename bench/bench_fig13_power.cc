@@ -20,6 +20,7 @@
 #include <string>
 
 #include "asic/asic.hh"
+#include "common/argparse.hh"
 #include "common/logging.hh"
 #include "sweep/sweep.hh"
 
@@ -31,18 +32,13 @@ main(int argc, char **argv)
     unsigned iterations = 20;
     unsigned threads = 1;
     std::string out_path;
-    for (int i = 1; i < argc; ++i) {
-        if (!std::strcmp(argv[i], "--iterations") && i + 1 < argc)
-            iterations = static_cast<unsigned>(
-                std::max(1, std::atoi(argv[++i])));
-        else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc)
-            threads = static_cast<unsigned>(
-                std::max(1, std::atoi(argv[++i])));
-        else if (!std::strcmp(argv[i], "--out") && i + 1 < argc)
-            out_path = argv[++i];
-        else
-            fatal("unknown flag '%s'", argv[i]);
-    }
+    ArgParser parser("Figure 13: average power on mutex_workload "
+                     "(22 nm model)");
+    parser.addUnsigned("--iterations", &iterations,
+                       "workload iterations per run");
+    parser.addUnsigned("--threads", &threads, "worker threads");
+    parser.addString("--out", &out_path, "JSONL output path");
+    parser.parse(argc, argv);
     setQuiet(true);
     constexpr double kFreqMhz = 500.0;
 

@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "common/argparse.hh"
 #include "common/logging.hh"
 #include "sweep/sweep.hh"
 #include "workloads/workloads.hh"
@@ -44,26 +45,26 @@ main(int argc, char **argv)
     unsigned iterations = 20;
     unsigned threads = 1;
     bool per_workload = false;
-    bool fast_forward = true;
+    bool no_fast_forward = false;
     bool include_timing = false;
     std::string out_path;
     std::string trace_path;
-    for (int i = 1; i < argc; ++i) {
-        if (!std::strcmp(argv[i], "--iterations") && i + 1 < argc)
-            iterations = static_cast<unsigned>(std::max(1, std::atoi(argv[++i])));
-        else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc)
-            threads = static_cast<unsigned>(std::max(1, std::atoi(argv[++i])));
-        else if (!std::strcmp(argv[i], "--out") && i + 1 < argc)
-            out_path = argv[++i];
-        else if (!std::strcmp(argv[i], "--trace") && i + 1 < argc)
-            trace_path = argv[++i];
-        else if (!std::strcmp(argv[i], "--per-workload"))
-            per_workload = true;
-        else if (!std::strcmp(argv[i], "--no-fast-forward"))
-            fast_forward = false;
-        else if (!std::strcmp(argv[i], "--timing"))
-            include_timing = true;
-    }
+    ArgParser parser("Figure 9: context-switch latency per core and "
+                     "RTOSUnit configuration");
+    parser.addUnsigned("--iterations", &iterations,
+                       "workload iterations per run");
+    parser.addUnsigned("--threads", &threads, "worker threads");
+    parser.addString("--out", &out_path, "JSONL output path");
+    parser.addString("--trace", &trace_path,
+                     "per-switch trace JSONL path");
+    parser.addFlag("--per-workload", &per_workload,
+                   "print one table per workload");
+    parser.addFlag("--no-fast-forward", &no_fast_forward,
+                   "tick every cycle (reference mode)");
+    parser.addFlag("--timing", &include_timing,
+                   "include wall-clock timing in the output");
+    parser.parse(argc, argv);
+    const bool fast_forward = !no_fast_forward;
     setQuiet(true);
 
     SweepSpec spec;

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "common/json.hh"
+#include "common/argparse.hh"
 #include "common/logging.hh"
 #include "sweep/sweep.hh"
 #include "workloads/workloads.hh"
@@ -111,38 +112,37 @@ main(int argc, char **argv)
     std::vector<std::string> workloads = {"delay_wake", "sem_pingpong",
                                           "round_robin"};
     unsigned iterations = 20;
-    Word timer_period = 10000;
+    unsigned timer_period = 10000;
     std::string out_path = "BENCH_sim_throughput.json";
     double min_skip_ratio = 0.0;
 
-    for (int i = 1; i < argc; ++i) {
-        const auto next = [&](const char *flag) -> const char * {
-            if (i + 1 >= argc)
-                fatal("%s needs a value", flag);
-            return argv[++i];
-        };
-        if (!std::strcmp(argv[i], "--cores")) {
-            cores.clear();
-            for (const std::string &n : splitList(next("--cores")))
-                cores.push_back(coreFromName(n));
-        } else if (!std::strcmp(argv[i], "--configs")) {
-            configs = splitList(next("--configs"));
-        } else if (!std::strcmp(argv[i], "--workloads")) {
-            workloads = splitList(next("--workloads"));
-        } else if (!std::strcmp(argv[i], "--iterations")) {
-            iterations = static_cast<unsigned>(
-                std::max(1, std::atoi(next("--iterations"))));
-        } else if (!std::strcmp(argv[i], "--timer-period")) {
-            timer_period = static_cast<Word>(
-                std::max(1, std::atoi(next("--timer-period"))));
-        } else if (!std::strcmp(argv[i], "--out")) {
-            out_path = next("--out");
-        } else if (!std::strcmp(argv[i], "--min-skip-ratio")) {
-            min_skip_ratio = std::atof(next("--min-skip-ratio"));
-        } else {
-            fatal("unknown flag '%s'", argv[i]);
-        }
+    std::string cores_arg, configs_arg, workloads_arg;
+    ArgParser parser("Event-driven simulation throughput: reference "
+                     "ticking vs quiescence fast-forward");
+    parser.addString("--cores", &cores_arg,
+                     "comma list: cv32e40p,cva6,nax");
+    parser.addString("--configs", &configs_arg,
+                     "comma list of RTOSUnit configurations");
+    parser.addString("--workloads", &workloads_arg,
+                     "comma list of workloads");
+    parser.addUnsigned("--iterations", &iterations,
+                       "workload iterations per run");
+    parser.addUnsigned("--timer-period", &timer_period,
+                       "preemption timer period in cycles");
+    parser.addString("--out", &out_path, "JSON report path");
+    parser.addDouble("--min-skip-ratio", &min_skip_ratio,
+                     "fail when any point skips less than this ratio");
+    parser.parse(argc, argv);
+
+    if (!cores_arg.empty()) {
+        cores.clear();
+        for (const std::string &n : splitList(cores_arg))
+            cores.push_back(coreFromName(n));
     }
+    if (!configs_arg.empty())
+        configs = splitList(configs_arg);
+    if (!workloads_arg.empty())
+        workloads = splitList(workloads_arg);
     if (cores.empty() || configs.empty() || workloads.empty())
         fatal("need at least one core, config and workload");
 

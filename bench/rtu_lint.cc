@@ -9,9 +9,9 @@
  * crossed with the standard workload suite.
  *
  * Usage:
- *   rtu_lint [--configs=S,SDLOT,...] [--workloads=yield_pingpong,...]
- *            [--out=diags.jsonl] [--warn-as-error] [--no-hwsync]
- *            [--quiet]
+ *   rtu_lint [--configs S,SDLOT,...] [--workloads yield_pingpong,...]
+ *            [--out diags.jsonl] [--warn-as-error] [--no-hwsync]
+ *            [--quiet]  (--flag=value also accepted)
  *
  * Exit status is non-zero when any error diagnostic (or, with
  * --warn-as-error, any diagnostic at all) is produced, so CI can use
@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "analyze/linter.hh"
+#include "common/argparse.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
 
@@ -53,67 +54,37 @@ parseList(const std::string &arg)
     return out;
 }
 
-void
-usage(const char *argv0)
-{
-    std::fprintf(stderr,
-                 "usage: %s [--configs=A,B,...] [--workloads=a,b,...] "
-                 "[--out=FILE.jsonl] [--warn-as-error] [--no-hwsync] "
-                 "[--quiet]\n",
-                 argv0);
-}
-
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     setQuiet(true);
-    std::set<std::string> configFilter;
-    std::set<std::string> workloadFilter;
+    std::string configs_arg;
+    std::string workloads_arg;
     std::string outPath;
     bool warnAsError = false;
-    bool includeHwsync = true;
+    bool noHwsync = false;
     bool quiet = false;
 
-    bool ok = true;
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        // Accepts both --flag=value and --flag value, like the other
-        // bench drivers.
-        auto value = [&](const char *flag) {
-            const std::string eq = std::string(flag) + "=";
-            if (arg.rfind(eq, 0) == 0)
-                return arg.substr(eq.size());
-            if (i + 1 < argc)
-                return std::string(argv[++i]);
-            ok = false;
-            return std::string();
-        };
-        auto matches = [&arg](const char *flag) {
-            return arg == flag ||
-                   arg.rfind(std::string(flag) + "=", 0) == 0;
-        };
-        if (matches("--configs")) {
-            configFilter = parseList(value("--configs"));
-        } else if (matches("--workloads")) {
-            workloadFilter = parseList(value("--workloads"));
-        } else if (matches("--out")) {
-            outPath = value("--out");
-        } else if (arg == "--warn-as-error") {
-            warnAsError = true;
-        } else if (arg == "--no-hwsync") {
-            includeHwsync = false;
-        } else if (arg == "--quiet") {
-            quiet = true;
-        } else {
-            ok = false;
-        }
-        if (!ok) {
-            usage(argv[0]);
-            return 2;
-        }
-    }
+    ArgParser parser("Static context-integrity lint gate over the "
+                     "generated kernel matrix");
+    parser.addString("--configs", &configs_arg,
+                     "comma list of configurations (default: all)");
+    parser.addString("--workloads", &workloads_arg,
+                     "comma list of workloads (default: all)");
+    parser.addString("--out", &outPath, "diagnostic JSONL path");
+    parser.addFlag("--warn-as-error", &warnAsError,
+                   "any diagnostic fails the gate");
+    parser.addFlag("--no-hwsync", &noHwsync,
+                   "skip the +HS extension points");
+    parser.addFlag("--quiet", &quiet, "suppress text diagnostics");
+    parser.parse(argc, argv);
+
+    const std::set<std::string> configFilter = parseList(configs_arg);
+    const std::set<std::string> workloadFilter =
+        parseList(workloads_arg);
+    const bool includeHwsync = !noHwsync;
 
     std::FILE *jsonl = nullptr;
     if (!outPath.empty()) {

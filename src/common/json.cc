@@ -1,6 +1,9 @@
 #include "json.hh"
 
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 namespace rtu {
 
@@ -106,6 +109,44 @@ jsonUnescape(const std::string &s)
         }
     }
     return out;
+}
+
+std::string
+jsonNumber(double v, const char *fmt)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), fmt, v);
+    return buf;
+}
+
+bool
+jsonParseNumber(const std::string &text, double *out, bool *wasNull)
+{
+    if (wasNull)
+        *wasNull = false;
+    const char *s = text.c_str();
+    while (*s == ' ' || *s == '\t')
+        ++s;
+    if (std::strncmp(s, "null", 4) == 0) {
+        if (out)
+            *out = std::nan("");
+        if (wasNull)
+            *wasNull = true;
+        s += 4;
+    } else {
+        char *end = nullptr;
+        const double v = std::strtod(s, &end);
+        if (end == s)
+            return false;
+        if (out)
+            *out = v;
+        s = end;
+    }
+    while (*s == ' ' || *s == '\t')
+        ++s;
+    return *s == '\0';
 }
 
 } // namespace rtu

@@ -30,6 +30,26 @@ std::string jsonEscape(const std::string &s);
  */
 std::string jsonUnescape(const std::string &s);
 
+/**
+ * Serialize a double as a JSON number. JSON has no representation for
+ * infinities or NaN — printf would emit bare `inf`/`nan` and corrupt
+ * the stream — so non-finite values become the literal `null`.
+ * @p fmt is the printf conversion for the finite case (defaults to
+ * round-trippable %.17g; writers wanting byte-stable fixed precision
+ * pass e.g. "%.3f").
+ */
+std::string jsonNumber(double v, const char *fmt = "%.17g");
+
+/**
+ * Parse a JSON number field back, tolerating the `null` that
+ * jsonNumber emits for non-finite values (and, for backward
+ * compatibility with streams written before the fix, bare inf/nan):
+ * returns false only on genuinely malformed text. `null` parses as
+ * quiet NaN with @p wasNull set.
+ */
+bool jsonParseNumber(const std::string &text, double *out,
+                     bool *wasNull = nullptr);
+
 } // namespace rtu
 
 #endif // RTU_COMMON_JSON_HH

@@ -57,6 +57,16 @@ panicImpl(const char *file, int line, const char *fmt, ...)
 }
 
 void
+guestFaultImpl(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    std::string msg = vformat(fmt, ap);
+    va_end(ap);
+    throw GuestFault(msg);
+}
+
+void
 fatalImpl(const char *file, int line, const char *fmt, ...)
 {
     va_list ap;

@@ -16,6 +16,7 @@
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 
 namespace rtu {
@@ -26,6 +27,23 @@ std::string csprintf(const char *fmt, ...)
 
 [[noreturn]] void panicImpl(const char *file, int line, const char *fmt,
                             ...) __attribute__((format(printf, 3, 4)));
+
+/**
+ * The guest program did something architecturally fatal: executed an
+ * illegal instruction, touched unmapped memory, hit ebreak. Unlike a
+ * panic (a simulator bug), this can be the guest's fault — notably
+ * under fault injection, where corrupted state is *expected* to crash.
+ * The run loop catches it and ends the run with RunStatus::kGuestFault;
+ * outside a run it terminates like a panic (what() is printed).
+ */
+class GuestFault : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+[[noreturn]] void guestFaultImpl(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
 
 [[noreturn]] void fatalImpl(const char *file, int line, const char *fmt,
                             ...) __attribute__((format(printf, 3, 4)));
@@ -43,6 +61,7 @@ bool quiet();
 } // namespace rtu
 
 #define panic(...) ::rtu::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define guest_fault(...) ::rtu::guestFaultImpl(__VA_ARGS__)
 #define fatal(...) ::rtu::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
 #define warn(...) ::rtu::warnImpl(__VA_ARGS__)
 #define inform(...) ::rtu::informImpl(__VA_ARGS__)

@@ -62,7 +62,7 @@ Executor::readCsr(std::uint16_t addr) const
         return now_ ? static_cast<Word>(*now_ >> 32) : 0;
       case csr::kMhartid: return 0;
       default:
-        panic("read of unimplemented CSR 0x%03x", addr);
+        guest_fault("read of unimplemented CSR 0x%03x", addr);
     }
 }
 
@@ -92,7 +92,7 @@ Executor::writeCsr(std::uint16_t addr, Word value)
       case csr::kMcycleh:
         break;  // read-only counter in this model
       default:
-        panic("write of unimplemented CSR 0x%03x", addr);
+        guest_fault("write of unimplemented CSR 0x%03x", addr);
     }
 }
 
@@ -263,7 +263,7 @@ Executor::execute(const DecodedInsn &d, Addr pc)
         res.trapCause = mcause::kEcallM;
         break;
       case Op::kEbreak:
-        panic("guest ebreak at pc 0x%08x", pc);
+        guest_fault("guest ebreak at pc 0x%08x", pc);
       case Op::kWfi:
         res.isWfi = true;
         break;
@@ -349,7 +349,7 @@ Executor::execute(const DecodedInsn &d, Addr pc)
         break;
 
       case Op::kInvalid:
-        panic("illegal instruction 0x%08x at pc 0x%08x (%s)", d.raw, pc,
+        guest_fault("illegal instruction 0x%08x at pc 0x%08x (%s)", d.raw, pc,
               disassemble(d).c_str());
     }
 

@@ -16,14 +16,16 @@ namespace rtu {
 namespace {
 
 /** Latencies are integral cycle counts; print them as such so the
- *  stream is byte-stable (matching writeResultsJsonl's convention). */
+ *  stream is byte-stable (matching writeResultsJsonl's convention).
+ *  Non-finite samples (which should never occur, but must not corrupt
+ *  the cache file if they do) serialize as JSON null. */
 std::string
 formatSample(double v)
 {
-    if (v == std::floor(v) && std::fabs(v) < 9e15) {
+    if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 9e15) {
         return csprintf("%lld", static_cast<long long>(v));
     }
-    return csprintf("%.17g", v);
+    return jsonNumber(v);
 }
 
 /** Find the value text following @p field ("\"name\":"), or npos. */
@@ -93,12 +95,20 @@ parseSamplesField(const std::string &line, const char *field,
     if (*p == ']')
         return true;  // empty array (a run with no switches)
     for (;;) {
-        char *end = nullptr;
-        const double v = std::strtod(p, &end);
-        if (end == p)
-            return false;
-        out->push_back(v);
-        p = end;
+        if (std::strncmp(p, "null", 4) == 0) {
+            // jsonNumber writes non-finite samples as null; read them
+            // back as NaN so the entry round-trips instead of being
+            // discarded as corrupt.
+            out->push_back(std::nan(""));
+            p += 4;
+        } else {
+            char *end = nullptr;
+            const double v = std::strtod(p, &end);
+            if (end == p)
+                return false;
+            out->push_back(v);
+            p = end;
+        }
         if (*p == ',') {
             ++p;
         } else {

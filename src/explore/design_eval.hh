@@ -62,6 +62,12 @@ struct DesignEval
     bool hasWcet = false;
     double wcetCycles = 0;
 
+    // Robustness side (opt-in fault-injection campaign): fraction of
+    // injected faults whose effect was caught by an oracle or the
+    // watchdog, out of those that were not provably masked.
+    bool hasDetect = false;
+    double detectCoverage = 0;
+
     // Implementation side (analytical 22 nm models).
     double areaNorm = 1.0;  ///< vs the same core's vanilla build
     double areaMm2 = 0;

@@ -5,6 +5,7 @@
 #include "asic/asic.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
+#include "inject/campaign.hh"
 #include "kernel/kernel.hh"
 #include "wcet/wcet.hh"
 #include "workloads/workloads.hh"
@@ -239,30 +240,72 @@ Explorer::evaluate()
         }
         evals.push_back(join(id, runs));
     }
+
+    // (2) Optional robustness objective: a deterministic fault
+    // campaign over the surviving grid; per-design detection coverage
+    // becomes the "detect" axis. Never cached — the coverage is a
+    // function of the campaign seed, not just the sweep point.
+    if (spec_.robustnessFaults > 0 && !survivors.empty()) {
+        CampaignSpec cs;
+        cs.faultsPerPoint = spec_.robustnessFaults;
+        cs.seed = spec_.robustnessSeed;
+        for (const DesignId &id : survivors) {
+            for (const std::string &w : spec_.workloads)
+                cs.points.push_back(sweepPointFor(id, w));
+        }
+        const SweepRunner runner(spec_.threads);
+        const CampaignResult cres = runCampaign(cs, runner);
+        const size_t perDesign = spec_.workloads.size();
+        std::vector<unsigned> detected(survivors.size(), 0);
+        std::vector<unsigned> escaped(survivors.size(), 0);
+        for (const FaultRunRecord &f : cres.faults) {
+            const size_t design = f.pointIndex / perDesign;
+            if (f.outcome == FaultOutcome::kMasked)
+                continue;
+            if (f.outcome == FaultOutcome::kDetectedOracle ||
+                f.outcome == FaultOutcome::kDetectedWatchdog) {
+                ++detected[design];
+            } else {
+                ++escaped[design];
+            }
+        }
+        for (size_t i = 0; i < evals.size(); ++i) {
+            const unsigned effective = detected[i] + escaped[i];
+            evals[i].hasDetect = true;
+            evals[i].detectCoverage =
+                effective == 0 ? 1.0
+                               : static_cast<double>(detected[i]) /
+                                     effective;
+        }
+    }
     return evals;
 }
 
 namespace {
 
 /** Byte-stable numeric formatting per objective (cycle quantities
- *  print integrally, model outputs with fixed precision). */
+ *  print integrally, model outputs with fixed precision). Non-finite
+ *  values — a missing WCET's +inf, a NaN from an empty latency set —
+ *  serialize as JSON null via jsonNumber, never as bare inf/nan. */
 std::string
 formatObjective(const DesignEval &e, Objective o)
 {
     const double v = objectiveValue(e, o);
     switch (o) {
       case Objective::kLatMean:
-        return csprintf("%.3f", v);
+        return jsonNumber(v, "%.3f");
       case Objective::kLatJitter:
-        return csprintf("%.0f", v);
+        return jsonNumber(v, "%.0f");
       case Objective::kWcet:
-        return e.hasWcet ? csprintf("%.0f", v) : std::string("null");
+        return e.hasWcet ? jsonNumber(v, "%.0f") : std::string("null");
       case Objective::kArea:
-        return csprintf("%.4f", v);
+        return jsonNumber(v, "%.4f");
       case Objective::kFmax:
-        return csprintf("%.3f", v);
+        return jsonNumber(v, "%.3f");
       case Objective::kPower:
-        return csprintf("%.3f", v);
+        return jsonNumber(v, "%.3f");
+      case Objective::kDetect:
+        return e.hasDetect ? jsonNumber(v, "%.4f") : std::string("null");
     }
     panic("unknown objective");
 }
@@ -278,15 +321,16 @@ writeEvalJson(std::ostream &os, const DesignEval &e)
        << ",\"ok\":" << (e.ok ? "true" : "false")
        << ",\"lat_mean\":" << formatObjective(e, Objective::kLatMean)
        << ",\"jitter\":" << formatObjective(e, Objective::kLatJitter)
-       << ",\"lat_min\":" << csprintf("%.0f", e.latMin)
-       << ",\"lat_max\":" << csprintf("%.0f", e.latMax)
-       << ",\"lat_p99\":" << csprintf("%.0f", e.latP99)
+       << ",\"lat_min\":" << jsonNumber(e.latMin, "%.0f")
+       << ",\"lat_max\":" << jsonNumber(e.latMax, "%.0f")
+       << ",\"lat_p99\":" << jsonNumber(e.latP99, "%.0f")
        << ",\"switches\":" << e.switches
        << ",\"wcet\":" << formatObjective(e, Objective::kWcet)
        << ",\"area\":" << formatObjective(e, Objective::kArea)
-       << ",\"area_mm2\":" << csprintf("%.5f", e.areaMm2)
+       << ",\"area_mm2\":" << jsonNumber(e.areaMm2, "%.5f")
        << ",\"fmax\":" << formatObjective(e, Objective::kFmax)
        << ",\"power\":" << formatObjective(e, Objective::kPower)
+       << ",\"detect\":" << formatObjective(e, Objective::kDetect)
        << "}";
 }
 

@@ -23,6 +23,7 @@
 #ifndef RTU_EXPLORE_EXPLORER_HH
 #define RTU_EXPLORE_EXPLORER_HH
 
+#include <cstdint>
 #include <map>
 #include <ostream>
 #include <string>
@@ -51,6 +52,14 @@ struct ExploreSpec
     unsigned threads = 1;
     /** Cache directory; empty runs without persistence. */
     std::string cacheDir;
+    /**
+     * When nonzero, run a fault-injection campaign of this many
+     * faults per (design x workload) point and expose detection
+     * coverage as the "detect" objective. Robustness runs are never
+     * cached — they depend on the campaign seed, not just the point.
+     */
+    unsigned robustnessFaults = 0;
+    std::uint64_t robustnessSeed = 1;
     /** Compute the static WCET objective (CV32E40P points only). */
     bool computeWcet = true;
     /** Frequency for the power objective (paper: 500 MHz). */

@@ -18,6 +18,7 @@ objectiveName(Objective o)
       case Objective::kArea: return "area";
       case Objective::kFmax: return "fmax";
       case Objective::kPower: return "power";
+      case Objective::kDetect: return "detect";
     }
     return "?";
 }
@@ -27,18 +28,19 @@ objectiveFromName(const std::string &name)
 {
     for (Objective o : {Objective::kLatMean, Objective::kLatJitter,
                         Objective::kWcet, Objective::kArea,
-                        Objective::kFmax, Objective::kPower}) {
+                        Objective::kFmax, Objective::kPower,
+                        Objective::kDetect}) {
         if (name == objectiveName(o))
             return o;
     }
     fatal("unknown objective '%s' (expected lat_mean, jitter, wcet, "
-          "area, fmax or power)", name.c_str());
+          "area, fmax, power or detect)", name.c_str());
 }
 
 bool
 objectiveMaximized(Objective o)
 {
-    return o == Objective::kFmax;
+    return o == Objective::kFmax || o == Objective::kDetect;
 }
 
 double
@@ -51,6 +53,7 @@ objectiveValue(const DesignEval &e, Objective o)
       case Objective::kArea: return e.areaNorm;
       case Objective::kFmax: return e.fmaxGHz;
       case Objective::kPower: return e.powerMw;
+      case Objective::kDetect: return e.detectCoverage;
     }
     panic("unknown objective");
 }
@@ -59,6 +62,10 @@ double
 canonicalValue(const DesignEval &e, Objective o)
 {
     if (o == Objective::kWcet && !e.hasWcet)
+        return std::numeric_limits<double>::infinity();
+    // A point whose robustness was never campaigned scores worst on
+    // the detect axis (coverage is maximized, so canonical +inf).
+    if (o == Objective::kDetect && !e.hasDetect)
         return std::numeric_limits<double>::infinity();
     const double v = objectiveValue(e, o);
     return objectiveMaximized(o) ? -v : v;

@@ -27,15 +27,17 @@ enum class Objective
     kArea,       ///< normalized area vs same-core vanilla (minimize)
     kFmax,       ///< achievable frequency [GHz] (maximize)
     kPower,      ///< average power [mW] (minimize)
+    kDetect,     ///< fault-detection coverage [0..1] (maximize)
 };
 
 const char *objectiveName(Objective o);
 
-/** Parse "lat_mean", "jitter", "wcet", "area", "fmax", "power"
- *  (fatal on unknown names: user-facing input). */
+/** Parse "lat_mean", "jitter", "wcet", "area", "fmax", "power",
+ *  "detect" (fatal on unknown names: user-facing input). */
 Objective objectiveFromName(const std::string &name);
 
-/** Only f_max is maximized; every other objective is a cost. */
+/** f_max and detection coverage are maximized; every other objective
+ *  is a cost. */
 bool objectiveMaximized(Objective o);
 
 /** Raw objective value as reported (f_max in GHz, area as a ratio). */

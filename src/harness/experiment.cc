@@ -32,8 +32,13 @@ runWorkload(CoreKind core, const RtosUnitConfig &unit,
     sconfig.watchdogCycles = opts.watchdogCycles;
 
     Simulation sim(sconfig, program);
-    for (Cycle at : winfo.extIrqSchedule)
+    const std::vector<Cycle> &extSchedule =
+        opts.extIrqOverride ? *opts.extIrqOverride : winfo.extIrqSchedule;
+    for (Cycle at : extSchedule)
         sim.scheduleExtIrq(at);
+
+    if (opts.preRun)
+        opts.preRun(sim);
 
     if (opts.sink) {
         TraceRunLabel label;
@@ -48,6 +53,8 @@ runWorkload(CoreKind core, const RtosUnitConfig &unit,
     const auto wallStart = std::chrono::steady_clock::now();
     const bool exited = sim.run();
     const auto wallEnd = std::chrono::steady_clock::now();
+    if (opts.postRun)
+        opts.postRun(sim);
     if (opts.sink)
         opts.sink->endRun();
 

@@ -8,6 +8,7 @@
 #ifndef RTU_HARNESS_EXPERIMENT_HH
 #define RTU_HARNESS_EXPERIMENT_HH
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -74,6 +75,18 @@ struct RunOptions
     bool fastForward = true;
     /** No-retire watchdog threshold; 0 disables. */
     std::uint64_t watchdogCycles = 2'000'000;
+    /**
+     * Replace the workload's external-interrupt schedule (the
+     * fault-injection campaign's dropped/spurious/coalesced IRQ
+     * models). nullptr keeps the workload's own schedule.
+     */
+    const std::vector<Cycle> *extIrqOverride = nullptr;
+    /** Called on the constructed Simulation before run() — attach
+     *  oracles, plant canaries, register injector components. */
+    std::function<void(Simulation &)> preRun;
+    /** Called after run(), before the result is assembled — final
+     *  oracle sweep over the end state. */
+    std::function<void(Simulation &)> postRun;
 };
 
 /** Run one workload on one (core, configuration) pair. */

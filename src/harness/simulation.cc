@@ -26,15 +26,16 @@ runStatusName(RunStatus status)
       case RunStatus::kExited: return "exited";
       case RunStatus::kCycleLimit: return "cycle-limit";
       case RunStatus::kNoRetire: return "no-retire";
+      case RunStatus::kGuestFault: return "guest-fault";
     }
     return "?";
 }
 
 Simulation::Simulation(const SimConfig &config, const Program &program)
-    : config_(config), program_(program),
+    : config_(config), program_(program), ext_(irq_),
       imem_("imem", memmap::kImemBase, memmap::kImemSize),
       dmem_("dmem", memmap::kDmemBase, memmap::kDmemSize),
-      ext_(irq_), clint_(irq_), hostio_(irq_, ext_),
+      clint_(irq_), hostio_(irq_, ext_),
       exec_(state_, mem_, irq_),
       dmemPort_("dmem-port"), busPort_("bus-port"),
       portReset_(dmemPort_, busPort_)
@@ -154,14 +155,20 @@ Simulation::currentGuestTask()
 void
 Simulation::trapTaken(Word cause, Cycle entry_cycle)
 {
+    const Word from = currentGuestTask();
     recorder_.beginEpisode(cause, irq_.assertCycle(cause), entry_cycle,
-                           currentGuestTask());
+                           from);
+    if (observer_)
+        observer_->trapTaken(cause, entry_cycle, from);
 }
 
 void
 Simulation::mretCompleted(Cycle cycle)
 {
-    recorder_.endEpisode(cycle, currentGuestTask());
+    const Word to = currentGuestTask();
+    recorder_.endEpisode(cycle, to);
+    if (observer_)
+        observer_->mretCompleted(cycle, to);
 }
 
 void
@@ -229,11 +236,18 @@ Simulation::run()
         }
 
         // Clamping skips to `limit` keeps the abort cycle identical in
-        // fast-forward and reference mode.
-        if (config_.fastForward && kernel_.fastForward(limit))
-            continue;
-
-        kernel_.tickOne();
+        // fast-forward and reference mode. A GuestFault here is the
+        // guest crashing (expected under fault injection), not a
+        // simulator bug: end the run instead of aborting the host.
+        try {
+            if (config_.fastForward && kernel_.fastForward(limit))
+                continue;
+            kernel_.tickOne();
+        } catch (const GuestFault &gf) {
+            status_ = RunStatus::kGuestFault;
+            diagnostic_ = gf.what();
+            return false;
+        }
     }
 
     if (hostio_.exited())
@@ -245,6 +259,19 @@ Word
 Simulation::readSymbolWord(const std::string &symbol)
 {
     return mem_.read32(program_.symbol(symbol));
+}
+
+Addr
+Simulation::symbolAddr(const std::string &symbol) const
+{
+    return program_.symbol(symbol);
+}
+
+Addr
+Simulation::findSymbolAddr(const std::string &symbol) const
+{
+    const auto it = program_.symbols.find(symbol);
+    return it == program_.symbols.end() ? 0 : it->second;
 }
 
 } // namespace rtu

@@ -54,9 +54,25 @@ enum class RunStatus
     kExited,      ///< guest exited voluntarily
     kCycleLimit,  ///< ran to maxCycles
     kNoRetire,    ///< watchdog: no instruction retired, guest hung
+    kGuestFault,  ///< architecturally fatal act (illegal insn, bus error)
 };
 
 const char *runStatusName(RunStatus status);
+
+/**
+ * Secondary observer of trap/mret boundaries, with the guest task ids
+ * already resolved. The fault-injection campaign hangs its oracles and
+ * episode-triggered injectors here; the primary SwitchRecorder path is
+ * unaffected whether or not an observer is attached.
+ */
+class RunObserver
+{
+  public:
+    virtual ~RunObserver() = default;
+    virtual void trapTaken(Word cause, Cycle entry_cycle,
+                           Word from_task) = 0;
+    virtual void mretCompleted(Cycle cycle, Word to_task) = 0;
+};
 
 class Simulation : public CoreListener, public PhaseObserver
 {
@@ -73,6 +89,17 @@ class Simulation : public CoreListener, public PhaseObserver
      * on the sink; episodes are emitted in simulation order.
      */
     void setTraceSink(TraceSink *sink) { recorder_.setSink(sink); }
+
+    /** Attach a trap/mret observer (fault-injection oracles). */
+    void setRunObserver(RunObserver *observer) { observer_ = observer; }
+
+    /**
+     * Register an extra clocked component (e.g. a fault injector)
+     * behind the built-in ones. Must happen before run(); the
+     * component ticks last each cycle and participates in the
+     * fast-forward quiescence protocol like any other.
+     */
+    void addClocked(Clocked *component) { kernel_.add(component); }
 
     /**
      * Run to guest exit, the cycle limit, or a watchdog abort.
@@ -103,6 +130,16 @@ class Simulation : public CoreListener, public PhaseObserver
 
     /** Read a data word by program symbol (test/verification aid). */
     Word readSymbolWord(const std::string &symbol);
+
+    /** Address of a program symbol (oracles walk guest structures). */
+    Addr symbolAddr(const std::string &symbol) const;
+
+    /** Like symbolAddr() but returns 0 when the symbol is absent
+     *  (task-count probing: k_stack_<i> exists per created task). */
+    Addr findSymbolAddr(const std::string &symbol) const;
+
+    /** The guest task id the kernel believes is current. */
+    Word currentGuestTask();
 
   private:
     /** Per-cycle SharedPort resets folded into one kernel component
@@ -138,8 +175,6 @@ class Simulation : public CoreListener, public PhaseObserver
     void mretCompleted(Cycle cycle) override;
     void phaseReached(SwitchPhase phase, Cycle cycle) override;
 
-    Word currentGuestTask();
-
     /** Retired-work counter driving the no-retire watchdog. */
     std::uint64_t progressCount() const;
     void noRetireAbort();
@@ -167,6 +202,7 @@ class Simulation : public CoreListener, public PhaseObserver
     std::unique_ptr<Core> core_;
 
     SwitchRecorder recorder_;
+    RunObserver *observer_ = nullptr;
     RunStatus status_ = RunStatus::kExited;
     std::string diagnostic_;
     Addr taskIdAddr_ = 0;

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Fault-injection campaign engine: for every sweep point, run one
+ * golden (fault-free) reference with the oracles attached, then one
+ * run per planned fault, and classify each outcome:
+ *
+ *   masked             fault fired (or never triggered) and the run
+ *                      matched the golden exit code + checksum stream
+ *   detected-oracle    a kernel-invariant oracle fired
+ *   detected-watchdog  the no-retire watchdog aborted the run
+ *   hang               the run hit the cycle limit still making
+ *                      progress (e.g. a livelocked scheduler)
+ *   silent-corruption  the run exited "cleanly" with a wrong exit
+ *                      code or checksum stream — the dangerous class
+ *
+ * Campaigns reuse the sweep's determinism contract: outcomes land in
+ * pre-sized index-addressed slots via SweepRunner::forEachIndex, so
+ * identical (--seed, grid) produce byte-identical JSONL at any
+ * --threads. Detection coverage (detected / non-masked) feeds the
+ * explorer's robustness objective.
+ */
+
+#ifndef RTU_INJECT_CAMPAIGN_HH
+#define RTU_INJECT_CAMPAIGN_HH
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "fault.hh"
+#include "sweep/sweep.hh"
+
+namespace rtu {
+
+enum class FaultOutcome
+{
+    kMasked,
+    kDetectedOracle,
+    kDetectedWatchdog,
+    kSilentCorruption,
+    kHang,
+};
+
+constexpr unsigned kNumFaultOutcomes = 5;
+
+const char *faultOutcomeName(FaultOutcome outcome);
+
+struct CampaignSpec
+{
+    /** Base grid; faults fan out per point. Points must be seeded
+     *  (SweepSpec::points() or reseed()). */
+    std::vector<SweepPoint> points;
+    unsigned faultsPerPoint = 8;
+    /** Campaign seed: the only input of the fault plans. */
+    std::uint64_t seed = 1;
+    bool fastForward = true;
+};
+
+/**
+ * The workload-semantic guest events of one run as a sorted multiset
+ * of (tag, value) pairs: work items, mutex/semaphore operations and
+ * checksums — but not the scheduling trace (task dispatches, ISR
+ * entries), whose counts legitimately vary under benign timing
+ * perturbation. Two runs with equal exit codes and equal semantic
+ * multisets computed the same results.
+ */
+using SemanticEvents = std::vector<std::pair<Word, Word>>;
+
+/** Golden reference of one point (fault-free, oracles attached). */
+struct GoldenRecord
+{
+    SweepPoint point;
+    RunResult run;
+    SemanticEvents events;
+    unsigned episodes = 0;
+    /** Oracle firings on the clean run: any nonzero value is an
+     *  oracle soundness bug (CI asserts zero). */
+    unsigned oracleHits = 0;
+    std::string oracleDetail;
+};
+
+/** One injected run, classified against its point's golden. */
+struct FaultRunRecord
+{
+    std::size_t pointIndex = 0;
+    FaultSpec fault;
+    /** False when the trigger episode was never reached. */
+    bool fired = false;
+    FaultOutcome outcome = FaultOutcome::kMasked;
+    unsigned oracleHits = 0;
+    std::string oracleName;
+    Cycle oracleCycle = 0;
+    unsigned oracleEpisode = 0;
+    std::string oracleDetail;
+    RunStatus status = RunStatus::kExited;
+    Word exitCode = 0;
+    Cycle cycles = 0;
+};
+
+struct CampaignResult
+{
+    std::vector<GoldenRecord> goldens;  ///< one per spec point
+    std::vector<FaultRunRecord> faults; ///< point-major plan order
+
+    unsigned countOf(FaultOutcome outcome) const;
+    /** Total clean-run oracle firings (soundness: must be zero). */
+    unsigned cleanOracleHits() const;
+    /**
+     * detected / (injected - masked); 1.0 when every fault was
+     * masked (nothing escaped because nothing took effect).
+     */
+    double detectionCoverage() const;
+};
+
+CampaignResult runCampaign(const CampaignSpec &spec,
+                           const SweepRunner &runner);
+
+/**
+ * Pure outcome classifier (exposed for direct testing). Precedence:
+ * oracle > watchdog > hang > golden comparison.
+ */
+FaultOutcome classifyOutcome(unsigned oracle_hits, RunStatus status,
+                             Word exit_code,
+                             const SemanticEvents &events,
+                             const GoldenRecord &golden);
+
+/**
+ * Run one hand-picked fault against @p point: golden run, injected
+ * run, classification — the seeded-defect fixture path (tests,
+ * bench_inject --selftest). @p golden_out optionally receives the
+ * golden record (clean-run oracle soundness checks).
+ */
+FaultRunRecord runSingleFault(const SweepPoint &point,
+                              const FaultSpec &fault,
+                              bool fast_forward = true,
+                              GoldenRecord *golden_out = nullptr);
+
+/** One byte-stable JSONL line per injected run. */
+void writeCampaignJsonl(std::ostream &os, const CampaignSpec &spec,
+                        const CampaignResult &result);
+
+} // namespace rtu
+
+#endif // RTU_INJECT_CAMPAIGN_HH

@@ -1,0 +1,148 @@
+#include "fault.hh"
+
+#include "common/logging.hh"
+#include "kernel/layout.hh"
+
+namespace rtu {
+
+namespace {
+
+/** FNV-1a, matching the sweep's per-point seed function. */
+std::uint64_t
+fnv1a(const std::string &s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+/** TCB fields worth corrupting (linkage, identity, timing, stack). */
+constexpr Word kTcbFields[] = {
+    kernel::kTcbTop,  kernel::kTcbId,   kernel::kTcbPrio,
+    kernel::kTcbNext, kernel::kTcbPrev, kernel::kTcbWake,
+};
+
+} // namespace
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::kCtxFlip: return "ctx-flip";
+      case FaultKind::kTcbField: return "tcb-field";
+      case FaultKind::kIrqSpurious: return "irq-spurious";
+      case FaultKind::kIrqDropped: return "irq-dropped";
+      case FaultKind::kIrqCoalesced: return "irq-coalesced";
+      case FaultKind::kMemStall: return "mem-stall";
+      case FaultKind::kFsmStall: return "fsm-stall";
+      case FaultKind::kFsmAbort: return "fsm-abort";
+    }
+    return "?";
+}
+
+std::string
+FaultSpec::describe() const
+{
+    switch (kind) {
+      case FaultKind::kCtxFlip:
+        return csprintf("ctx-flip ep%u word %u mask 0x%x", episode, word,
+                        bitMask);
+      case FaultKind::kTcbField:
+        return csprintf("tcb-field ep%u sel %u offset %u mask 0x%x",
+                        episode, taskSel, tcbField, bitMask);
+      case FaultKind::kIrqSpurious:
+        return csprintf("irq-spurious at cycle %llu",
+                        static_cast<unsigned long long>(cycles));
+      case FaultKind::kIrqDropped:
+        return csprintf("irq-dropped index %u", irqIndex);
+      case FaultKind::kIrqCoalesced:
+        return csprintf("irq-coalesced index %u", irqIndex);
+      case FaultKind::kMemStall:
+        return csprintf("mem-stall ep%u for %llu cycles", episode,
+                        static_cast<unsigned long long>(cycles));
+      case FaultKind::kFsmStall:
+        return csprintf("fsm-stall ep%u for %llu cycles", episode,
+                        static_cast<unsigned long long>(cycles));
+      case FaultKind::kFsmAbort:
+        return csprintf("fsm-abort ep%u after %llu cycles", episode,
+                        static_cast<unsigned long long>(cycles));
+    }
+    return "?";
+}
+
+std::vector<FaultKind>
+applicableFaultKinds(const RtosUnitConfig &unit, const WorkloadInfo &winfo)
+{
+    std::vector<FaultKind> kinds{FaultKind::kCtxFlip,
+                                 FaultKind::kTcbField,
+                                 FaultKind::kIrqSpurious};
+    if (!winfo.extIrqSchedule.empty())
+        kinds.push_back(FaultKind::kIrqDropped);
+    if (winfo.extIrqSchedule.size() >= 2)
+        kinds.push_back(FaultKind::kIrqCoalesced);
+    if (unit.anyHardware() && !unit.cv32rt) {
+        kinds.push_back(FaultKind::kMemStall);
+        kinds.push_back(FaultKind::kFsmStall);
+        if (unit.store)
+            kinds.push_back(FaultKind::kFsmAbort);
+    }
+    return kinds;
+}
+
+std::vector<FaultSpec>
+makeFaultPlan(std::uint64_t campaign_seed, const SweepPoint &point,
+              const WorkloadInfo &winfo, unsigned count)
+{
+    const std::vector<FaultKind> kinds =
+        applicableFaultKinds(point.unit, winfo);
+    rtu_assert(!kinds.empty(), "no applicable fault kinds");
+
+    std::vector<FaultSpec> plan;
+    plan.reserve(count);
+    for (unsigned i = 0; i < count; ++i) {
+        // Re-seeding per fault index keeps every spec independent of
+        // how many draws earlier specs consumed.
+        SplitMix64 rng(campaign_seed ^ fnv1a(point.key()) ^
+                       (0x1000193ull * (i + 1)));
+        FaultSpec f;
+        f.kind = kinds[rng.below(kinds.size())];
+        f.episode = 1 + static_cast<unsigned>(rng.below(12));
+        f.word = static_cast<unsigned>(rng.below(30));
+
+        // 1-3 distinct bits; OR keeps the count if positions collide.
+        const unsigned bits = 1 + static_cast<unsigned>(rng.below(3));
+        f.bitMask = 0;
+        for (unsigned b = 0; b < bits; ++b)
+            f.bitMask |= Word{1} << rng.below(32);
+
+        f.tcbField = kTcbFields[rng.below(std::size(kTcbFields))];
+        f.taskSel = static_cast<unsigned>(rng.below(kernel::kMaxTasks));
+        switch (f.kind) {
+          case FaultKind::kMemStall:
+          case FaultKind::kFsmStall:
+            f.cycles = 1 + rng.below(64);
+            break;
+          case FaultKind::kFsmAbort:
+            // Offset from trap entry; store drains run ~30+ cycles.
+            f.cycles = rng.below(16);
+            break;
+          case FaultKind::kIrqSpurious:
+            f.cycles = 1000 + rng.below(120000);
+            break;
+          default:
+            f.cycles = 0;
+            break;
+        }
+        if (!winfo.extIrqSchedule.empty()) {
+            f.irqIndex = static_cast<unsigned>(
+                rng.below(winfo.extIrqSchedule.size()));
+        }
+        plan.push_back(f);
+    }
+    return plan;
+}
+
+} // namespace rtu

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Fault models for the injection campaign (the "what can go wrong"
+ * half of the robustness engine; the oracles in oracle.hh are the
+ * "how would we notice" half).
+ *
+ * A FaultSpec is a small, fully deterministic description of one
+ * perturbation. Faults trigger on *episode ordinals* (the n-th
+ * trap/mret boundary), not raw cycles, so the same plan stresses the
+ * same kernel activity across configurations with very different
+ * switch latencies. Plans are derived from (campaign seed, sweep
+ * point key, fault index) through SplitMix64, so a campaign is
+ * reproducible from its seed alone at any thread count.
+ */
+
+#ifndef RTU_INJECT_FAULT_HH
+#define RTU_INJECT_FAULT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "rtosunit/config.hh"
+#include "sweep/sweep.hh"
+#include "workloads/workloads.hh"
+
+namespace rtu {
+
+enum class FaultKind
+{
+    kCtxFlip,       ///< bit flips in a saved context/frame word
+    kTcbField,      ///< bit flips in a TCB field of a live task
+    kIrqSpurious,   ///< extra external interrupt at an arbitrary cycle
+    kIrqDropped,    ///< one scheduled external interrupt never fires
+    kIrqCoalesced,  ///< two adjacent external interrupts merge into one
+    kMemStall,      ///< RTOSUnit memory port blocked for N cycles
+    kFsmStall,      ///< RTOSUnit FSM frozen for N cycles mid-episode
+    kFsmAbort,      ///< RTOSUnit store/restore FSM killed mid-drain
+};
+
+/** Stable kebab-case name ("ctx-flip", "irq-spurious", ...). */
+const char *faultKindName(FaultKind kind);
+
+/**
+ * One injected fault. Field meaning depends on kind; unused fields
+ * stay at their defaults and are still serialized (byte-stable JSONL
+ * schema). `episode` counts mret completions for state corruption
+ * (the saved image exists only after the switch) and trap entries for
+ * the FSM/port perturbations (which must hit a drain in flight).
+ */
+struct FaultSpec
+{
+    FaultKind kind = FaultKind::kCtxFlip;
+    unsigned episode = 1;   ///< 1-based trigger ordinal
+    unsigned word = 0;      ///< saved-image word index [0, 30)
+    Word bitMask = 1;       ///< bits flipped (1-3 bits set)
+    Word tcbField = 0;      ///< byte offset of the corrupted TCB field
+    unsigned taskSel = 0;   ///< victim selector among live tasks
+    Cycle cycles = 0;       ///< stall length / spurious-IRQ cycle
+    unsigned irqIndex = 0;  ///< schedule entry dropped/coalesced
+
+    /** Human-readable one-liner for logs and test failures. */
+    std::string describe() const;
+};
+
+/** SplitMix64: the campaign's deterministic plan generator. */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(std::uint64_t seed) : x_(seed) {}
+
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (x_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform-ish draw in [0, bound); bound must be nonzero. */
+    std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+
+  private:
+    std::uint64_t x_;
+};
+
+/**
+ * Fault kinds that make sense for one (configuration, workload)
+ * pair: IRQ-schedule faults need scheduled external interrupts, and
+ * the FSM/port perturbations need an RTOSUnit to perturb (CV32RT's
+ * drain engine has no externally stallable FSM in this model).
+ */
+std::vector<FaultKind> applicableFaultKinds(const RtosUnitConfig &unit,
+                                            const WorkloadInfo &winfo);
+
+/**
+ * Derive @p count fault specs for @p point. Deterministic in
+ * (campaign_seed, point.key(), index); independent of thread count
+ * and of every other point.
+ */
+std::vector<FaultSpec> makeFaultPlan(std::uint64_t campaign_seed,
+                                     const SweepPoint &point,
+                                     const WorkloadInfo &winfo,
+                                     unsigned count);
+
+} // namespace rtu
+
+#endif // RTU_INJECT_FAULT_HH

@@ -250,7 +250,7 @@ RtosUnit::stepStoreFsm()
     }
 
     if (storeIdx_ < kCtxWords) {
-        if (port_.canAccept()) {
+        if (portFree()) {
             Word value;
             if (storeIdx_ == 0)
                 value = storeMepc_;
@@ -344,7 +344,7 @@ RtosUnit::stepRestoreFsm()
     if (!restoreActive_)
         return;
 
-    if (restoreReqIdx_ < kCtxWords && port_.canAccept()) {
+    if (restoreReqIdx_ < kCtxWords && portFree()) {
         port_.pushRead(memmap::ctxAddr(restoreTask_) + 4 * restoreReqIdx_);
         ++restoreReqIdx_;
     } else if (restoreReqIdx_ < kCtxWords) {
@@ -431,7 +431,7 @@ RtosUnit::stepPreloader()
         return;
     }
 
-    if (preReqIdx_ < kCtxWords && port_.canAccept()) {
+    if (preReqIdx_ < kCtxWords && portFree()) {
         port_.pushRead(memmap::ctxAddr(preTask_) + 4 * preReqIdx_);
         ++preReqIdx_;
     }
@@ -450,6 +450,35 @@ RtosUnit::stepPreloader()
     }
 }
 
+// ---- fault injection -----------------------------------------------------
+
+const char *
+RtosUnit::injectAbortFsm()
+{
+    if (storeActive_) {
+        // Kill the drain mid-flight: words [storeIdx_, kCtxWords) of
+        // the outgoing task's context never reach memory, and any
+        // lockstep preload dies with it, leaving the RF with whatever
+        // mix of old/new words it had applied so far. Nothing marks
+        // the slice as torn — exactly the silent corruption the
+        // context-integrity oracle must catch at the task's resume.
+        storeActive_ = false;
+        lockstepActive_ = false;
+        rfHoldsValid_ = false;
+        return "store";
+    }
+    if (restoreActive_ || restorePending_) {
+        restorePending_ = false;
+        restoreActive_ = false;
+        // Drain in-flight read responses through the preloader's
+        // abort path so they cannot alias a later transfer.
+        preAborting_ = !port_.idle();
+        rfHoldsValid_ = false;
+        return "restore";
+    }
+    return "";
+}
+
 void
 RtosUnit::notifyPhase(SwitchPhase phase)
 {
@@ -463,6 +492,15 @@ void
 RtosUnit::tick(Cycle now)
 {
     (void)now;
+    if (stallRemaining_ > 0) {
+        // Injected whole-unit freeze: nothing steps, nothing drains.
+        // The core observes the stall conditions for longer; the
+        // episode completes late but otherwise intact.
+        --stallRemaining_;
+        return;
+    }
+    if (portBlockRemaining_ > 0)
+        --portBlockRemaining_;
     ready_.tick();
     delay_.tick();
     for (HwSemaphore &s : sems_)
@@ -497,6 +535,11 @@ RtosUnit::wouldStartPreload() const
 Cycle
 RtosUnit::nextEventAt(Cycle now) const
 {
+    // Injected stall/port-block counters burn down one per tick; a
+    // fast-forward skipping those ticks would let the fault linger
+    // into a later episode and break campaign determinism.
+    if (stallRemaining_ > 0 || portBlockRemaining_ > 0)
+        return now;
     if (storeActive_ || restoreActive_ || restorePending_ ||
         preActive_ || preAborting_) {
         return now;

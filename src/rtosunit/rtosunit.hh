@@ -122,6 +122,30 @@ class RtosUnit : public RtosUnitPort, public Clocked
     void onTrapEntry(Word cause) override;
     void onMretExecuted() override;
 
+    // ---- fault injection (src/inject campaign engine) ------------------
+    /**
+     * Freeze the whole unit — FSMs, list sorting, delay transfers,
+     * port pipelining — for @p cycles ticks. Models a clock-gating /
+     * handshake fault; the core keeps running and simply observes the
+     * stall conditions for longer. Cumulative across calls.
+     */
+    void injectStall(Cycle cycles) { stallRemaining_ += cycles; }
+
+    /**
+     * Deny the unit's memory port for @p cycles ticks (requests see
+     * canAccept() == false). Models transient memory-latency
+     * perturbation on the context traffic path. Cumulative.
+     */
+    void injectPortBlock(Cycle cycles) { portBlockRemaining_ += cycles; }
+
+    /**
+     * Kill whichever context FSM is active mid-transfer, leaving its
+     * partial state in place (unwritten context words, a half-restored
+     * register file). Returns "store" / "restore", or "" when both
+     * FSMs were idle (the injection did not fire).
+     */
+    const char *injectAbortFsm();
+
     // ---- inspection ----------------------------------------------------
     bool storeBusy() const { return storeActive_; }
     bool restoreBusy() const
@@ -143,6 +167,12 @@ class RtosUnit : public RtosUnitPort, public Clocked
     void notifyPhase(SwitchPhase phase);
     /** Would stepPreloader() spontaneously start a prefetch now? */
     bool wouldStartPreload() const;
+    /** Port acceptance gated by an injected port block. */
+    bool
+    portFree() const
+    {
+        return portBlockRemaining_ == 0 && port_.canAccept();
+    }
 
     RtosUnitConfig config_;
     ArchState &state_;
@@ -199,6 +229,10 @@ class RtosUnit : public RtosUnitPort, public Clocked
     bool lockstepActive_ = false;
     TaskId lockstepId_ = 0;
     bool lockstepSatisfies_ = false;  ///< prediction confirmed correct
+
+    // ---- injected faults -------------------------------------------------
+    Cycle stallRemaining_ = 0;      ///< whole-unit freeze ticks left
+    Cycle portBlockRemaining_ = 0;  ///< port-deny ticks left
 
     RtosUnitStats stats_;
 };

@@ -66,11 +66,26 @@ Clint::nextEventAt(Cycle now) const
     if (mtiPending) {
         // timerTaken() may have advanced mtimecmp past mtime while
         // the line is still raised; the very next tick clears it.
+        // (mtime_ + 1 is evaluated mod 2^64 on purpose: at
+        // mtime == ~0 the next tick wraps mtime to 0, and the wrapped
+        // value is exactly what the comparison must use.)
         if (mtime_ + 1 < mtimecmp_)
             return now;
-        return kNoEvent;  // line stays raised; mtime only grows
+        if (mtimecmp_ == 0)
+            return kNoEvent;  // every mtime satisfies mtime >= 0
+        // The line stays raised until mtime wraps below mtimecmp —
+        // 2^64 - mtime ticks away (== 0 - mtime_ in DWord arithmetic).
+        // Far beyond any realistic run, but kNoEvent here would let a
+        // fast-forward skip straight past the wrap-induced clear.
+        const DWord toWrap = DWord{0} - mtime_;
+        if (toWrap - 1 >= kNoEvent - now)
+            return kNoEvent;  // unreachable within the cycle space
+        return now + (toWrap - 1);
     }
-    if (mtime_ + 1 >= mtimecmp_)
+    // Not pending means mtime < mtimecmp (levels are re-derived every
+    // tick), so this difference cannot underflow — even with both
+    // values pressed against the uint64 ceiling.
+    if (mtimecmp_ - mtime_ <= 1)
         return now;  // next tick raises MTIP
     // The tick at now + (mtimecmp - mtime - 1) brings mtime up to
     // mtimecmp and raises the line.

@@ -54,8 +54,14 @@ class Clint : public MemDevice, public Clocked
     {
         if (autoReset_) {
             // Advance from the programmed deadline, not from "now", so
-            // the tick train keeps its exact cadence.
-            mtimecmp_ += period_;
+            // the tick train keeps its exact cadence. Saturate instead
+            // of wrapping: a deadline past 2^64 - 1 would otherwise
+            // alias a tiny compare value and storm MTIP; ~0 is the
+            // architectural "timer disarmed" idiom.
+            if (mtimecmp_ >= ~DWord{0} - period_)
+                mtimecmp_ = ~DWord{0};
+            else
+                mtimecmp_ += period_;
         }
     }
 

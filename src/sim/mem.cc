@@ -65,13 +65,13 @@ MemSystem::route(Addr addr, MemSize size, const char *what)
 {
     MemDevice *d = deviceAt(addr);
     if (!d)
-        panic("%s at unmapped address 0x%08x", what, addr);
+        guest_fault("%s at unmapped address 0x%08x", what, addr);
     // The bus has no straddle support: an access must lie entirely
     // within one device, else it would silently hit device-internal
     // range asserts (or worse, split) — fail as a clean bus error.
     const Addr last = addr + static_cast<Addr>(size) - 1;
     if (!d->contains(last)) {
-        panic("%s [0x%08x,0x%08x] straddles the end of device '%s'",
+        guest_fault("%s [0x%08x,0x%08x] straddles the end of device '%s'",
               what, addr, last, d->name().c_str());
     }
     return d;

@@ -39,9 +39,11 @@ struct SwitchRecord
     Word cause = 0;          ///< mcause of the triggering interrupt
     Cycle assertCycle = 0;   ///< interrupt line asserted
     Cycle entryCycle = 0;    ///< trap taken (handler starts)
-    Cycle storeDoneCycle = 0; ///< hardware store FSM drained (0: none)
-    Cycle schedDoneCycle = 0; ///< GET_HW_SCHED retired (0: none)
-    Cycle loadDoneCycle = 0;  ///< context restore complete (0: none)
+    /// Hardware store FSM drained; kNoPhase when the phase never ran
+    /// (0 is a legitimate completion cycle and must stay usable).
+    Cycle storeDoneCycle = kNoPhase;
+    Cycle schedDoneCycle = kNoPhase; ///< GET_HW_SCHED retired (or kNoPhase)
+    Cycle loadDoneCycle = kNoPhase;  ///< restore complete (or kNoPhase)
     Cycle mretCycle = 0;     ///< mret completed
     Word fromTask = 0;
     Word toTask = 0;

@@ -102,36 +102,33 @@ runSweepPoint(const SweepPoint &point, bool capture_trace,
     return out;
 }
 
-std::vector<SweepResult>
-SweepRunner::runPoints(const std::vector<SweepPoint> &pts,
-                       bool capture_trace) const
+void
+SweepRunner::forEachIndex(std::size_t n,
+                          const std::function<void(std::size_t)> &fn) const
 {
-    std::vector<SweepResult> results(pts.size());
-    if (pts.empty())
-        return results;
+    if (n == 0)
+        return;
 
     const unsigned workers = std::max(1u,
-        std::min<unsigned>(threads_, static_cast<unsigned>(pts.size())));
+        std::min<unsigned>(threads_, static_cast<unsigned>(n)));
 
     if (workers == 1) {
-        for (size_t i = 0; i < pts.size(); ++i)
-            results[i] = runSweepPoint(pts[i], capture_trace,
-                                       fastForward_);
-        return results;
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
     }
 
-    // Lock-free collection: workers pull the next grid index from an
+    // Lock-free collection: workers pull the next index from an
     // atomic cursor and each writes only its own pre-sized slot, so
-    // the result order is the grid order whatever the interleaving.
-    std::atomic<size_t> cursor{0};
+    // the result order is the index order whatever the interleaving.
+    std::atomic<std::size_t> cursor{0};
     auto worker = [&]() {
         for (;;) {
-            const size_t i = cursor.fetch_add(1,
-                                              std::memory_order_relaxed);
-            if (i >= pts.size())
+            const std::size_t i = cursor.fetch_add(
+                1, std::memory_order_relaxed);
+            if (i >= n)
                 return;
-            results[i] = runSweepPoint(pts[i], capture_trace,
-                                       fastForward_);
+            fn(i);
         }
     };
 
@@ -141,6 +138,16 @@ SweepRunner::runPoints(const std::vector<SweepPoint> &pts,
         pool.emplace_back(worker);
     for (std::thread &t : pool)
         t.join();
+}
+
+std::vector<SweepResult>
+SweepRunner::runPoints(const std::vector<SweepPoint> &pts,
+                       bool capture_trace) const
+{
+    std::vector<SweepResult> results(pts.size());
+    forEachIndex(pts.size(), [&](std::size_t i) {
+        results[i] = runSweepPoint(pts[i], capture_trace, fastForward_);
+    });
     return results;
 }
 

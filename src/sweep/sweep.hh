@@ -21,6 +21,8 @@
 #ifndef RTU_SWEEP_SWEEP_HH
 #define RTU_SWEEP_SWEEP_HH
 
+#include <cstddef>
+#include <functional>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -95,6 +97,18 @@ class SweepRunner
     /** Run an explicit point list (non-cartesian sweeps). */
     std::vector<SweepResult> runPoints(const std::vector<SweepPoint> &pts,
                                        bool capture_trace = false) const;
+
+    /**
+     * Generic deterministic fan-out over [0, n): @p fn is invoked for
+     * every index exactly once, sharded across this runner's pool.
+     * Callers own the result collection and must write only into
+     * per-index slots they pre-sized — the same lock-free collector
+     * discipline runPoints() uses, reused by the fault-injection
+     * campaign so its outcome stream keeps the byte-stability
+     * contract at any thread count.
+     */
+    void forEachIndex(std::size_t n,
+                      const std::function<void(std::size_t)> &fn) const;
 
     unsigned threads() const { return threads_; }
 

@@ -18,6 +18,24 @@ switchPhaseName(SwitchPhase phase)
     return "?";
 }
 
+namespace {
+
+/** JSONL phase timestamp: the cycle, or `null` when never reached. */
+std::string
+jsonPhase(Cycle c)
+{
+    return c == kNoPhase ? "null" : std::to_string(c);
+}
+
+/** CSV phase timestamp: the cycle, or an empty field. */
+std::string
+csvPhase(Cycle c)
+{
+    return c == kNoPhase ? "" : std::to_string(c);
+}
+
+} // namespace
+
 void
 JsonlTraceSink::beginRun(const TraceRunLabel &label)
 {
@@ -40,9 +58,9 @@ JsonlTraceSink::episode(const EpisodeTrace &e)
         << ",\"preempted\":" << (e.preempted ? "true" : "false")
         << ",\"irq_assert\":" << e.irqAssert
         << ",\"trap_taken\":" << e.trapTaken
-        << ",\"store_done\":" << e.storeDone
-        << ",\"sched_done\":" << e.schedDone
-        << ",\"load_done\":" << e.loadDone
+        << ",\"store_done\":" << jsonPhase(e.storeDone)
+        << ",\"sched_done\":" << jsonPhase(e.schedDone)
+        << ",\"load_done\":" << jsonPhase(e.loadDone)
         << ",\"mret\":" << e.mret
         << "}\n";
 }
@@ -67,8 +85,9 @@ CsvTraceSink::episode(const EpisodeTrace &e)
         << ',' << label_.seed << ',' << index_++ << ',' << e.cause << ','
         << e.fromTask << ',' << e.toTask << ',' << (e.queued ? 1 : 0)
         << ',' << (e.preempted ? 1 : 0) << ',' << e.irqAssert << ','
-        << e.trapTaken << ',' << e.storeDone << ',' << e.schedDone << ','
-        << e.loadDone << ',' << e.mret << '\n';
+        << e.trapTaken << ',' << csvPhase(e.storeDone) << ','
+        << csvPhase(e.schedDone) << ',' << csvPhase(e.loadDone) << ','
+        << e.mret << '\n';
 }
 
 } // namespace rtu

@@ -13,7 +13,9 @@
  * EpisodeTrace per episode to an optional TraceSink. Sinks serialize
  * to JSONL (one object per line, machine-readable) or CSV. Phases a
  * configuration performs in software (e.g. store-done under vanilla)
- * carry timestamp 0: every record always has all six fields.
+ * carry the explicit kNoPhase sentinel — never 0, which is a
+ * legitimate completion cycle — and serialize as JSON `null` / an
+ * empty CSV field: every record always has all six fields.
  */
 
 #ifndef RTU_TRACE_TRACE_HH
@@ -39,6 +41,14 @@ enum class SwitchPhase
 
 const char *switchPhaseName(SwitchPhase phase);
 
+/**
+ * "Phase not reached" timestamp sentinel. An invalid cycle (the
+ * simulator would have to run 2^64 - 1 cycles to stamp it) rather
+ * than 0, which collides with a phase legitimately completing at
+ * cycle 0 (e.g. an interrupt asserted at reset).
+ */
+constexpr Cycle kNoPhase = ~Cycle{0};
+
 /** Receiver of phase-boundary timestamps (implemented by Simulation,
  *  forwarded into the SwitchRecorder's in-flight episode). */
 class PhaseObserver
@@ -49,7 +59,7 @@ class PhaseObserver
 };
 
 /** One completed (or preempted) switch episode with its six phase
- *  timestamps. Unreached phases are 0. */
+ *  timestamps. Unreached phases carry kNoPhase. */
 struct EpisodeTrace
 {
     Word cause = 0;
@@ -59,9 +69,9 @@ struct EpisodeTrace
     bool preempted = false;  ///< truncated by a nested/back-to-back trap
     Cycle irqAssert = 0;
     Cycle trapTaken = 0;
-    Cycle storeDone = 0;
-    Cycle schedDone = 0;
-    Cycle loadDone = 0;
+    Cycle storeDone = kNoPhase;
+    Cycle schedDone = kNoPhase;
+    Cycle loadDone = kNoPhase;
     Cycle mret = 0;
 
     Cycle latency() const { return mret - irqAssert; }

@@ -89,6 +89,78 @@ TEST_F(ClintTest, WithoutAutoResetTakenTimerDoesNothing)
     EXPECT_EQ(clint.mtimecmp(), 10u);
 }
 
+TEST_F(ClintTest, AutoResetSaturatesAtTheCompareCeiling)
+{
+    // Regression: with mtimecmp near 2^64 - 1, the auto-reset used to
+    // wrap the deadline around to a tiny compare value, turning the
+    // next few billion cycles into an MTIP storm. It must saturate at
+    // ~0 — the architectural "timer disarmed" idiom — and stay there.
+    clint.enableAutoReset(1000);
+    clint.write(memmap::kClintMtimecmp, 0xFFFFFE00u, MemSize::kWord);
+    clint.write(memmap::kClintMtimecmpHi, 0xFFFFFFFFu, MemSize::kWord);
+    clint.timerTaken();
+    EXPECT_EQ(clint.mtimecmp(), ~DWord{0});
+    clint.timerTaken();
+    EXPECT_EQ(clint.mtimecmp(), ~DWord{0});
+}
+
+TEST_F(ClintTest, NextEventWithDisarmedCompareIsAstronomicallyFar)
+{
+    // The reset value mtimecmp = ~0 is still a reachable deadline —
+    // mtime hits it after ~2^64 ticks — so nextEventAt reports that
+    // exact far-future cycle rather than aliasing the kNoEvent
+    // sentinel or overflowing `now + delta` into a bogus near-term
+    // event.
+    clint.tick(0);  // mtime = 1
+    EXPECT_EQ(clint.nextEventAt(1), ~DWord{0} - 1);
+}
+
+TEST_F(ClintTest, NextEventWithZeroComparePendingForever)
+{
+    // cmp = 0 satisfies mtime >= cmp at every value including across
+    // the mtime wrap, so a raised line never clears: kNoEvent, not a
+    // wrap-distance event 2^64 ticks out.
+    clint.write(memmap::kClintMtimecmp, 0, MemSize::kWord);
+    clint.write(memmap::kClintMtimecmpHi, 0, MemSize::kWord);
+    clint.tick(0);
+    ASSERT_NE(irq.pending() & irq::kMti, 0u);
+    EXPECT_EQ(clint.nextEventAt(1), kNoEvent);
+}
+
+TEST_F(ClintTest, PendingLineClearsWhenMtimeWraps)
+{
+    // mtime pressed against the uint64 ceiling with mtimecmp just
+    // below it: the line raises at cmp and clears when mtime wraps to
+    // 0 < cmp. nextEventAt must schedule that wrap-induced clear (a
+    // fast-forward would otherwise skip it) without underflowing the
+    // not-pending branch's cmp - mtime difference beforehand.
+    const DWord cmp = ~DWord{0} - 2;
+    clint.write(memmap::kClintMtimecmp,
+                static_cast<Word>(cmp), MemSize::kWord);
+    clint.write(memmap::kClintMtimecmpHi,
+                static_cast<Word>(cmp >> 32), MemSize::kWord);
+    // Bulk-advance mtime to cmp - 2 (the stretch is quiescent).
+    const DWord target = cmp - 2;
+    clint.skipTo(0, target);
+    EXPECT_EQ(clint.mtime(), target);
+    EXPECT_EQ(irq.pending() & irq::kMti, 0u);
+    // Next tick is mtime = cmp - 1 (still clear), the one after
+    // raises the line.
+    EXPECT_EQ(clint.nextEventAt(target), target + 1);
+    clint.tick(target);
+    clint.tick(target + 1);
+    ASSERT_NE(irq.pending() & irq::kMti, 0u);
+    // Pending with mtime = cmp: the clear happens when mtime wraps —
+    // three more ticks (cmp -> ~0 -> 0), i.e. at now + toWrap - 1.
+    EXPECT_EQ(clint.nextEventAt(target + 2), target + 2 + 2);
+    clint.tick(target + 2);
+    clint.tick(target + 3);
+    ASSERT_NE(irq.pending() & irq::kMti, 0u);  // mtime = ~0
+    clint.tick(target + 4);                    // wraps to 0
+    EXPECT_EQ(clint.mtime(), 0u);
+    EXPECT_EQ(irq.pending() & irq::kMti, 0u);
+}
+
 TEST_F(ClintTest, ExtIrqDriverAssertsAtScheduledCycle)
 {
     ExtIrqDriver ext(irq);

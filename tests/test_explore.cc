@@ -7,13 +7,16 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
+#include <limits>
 #include <filesystem>
 #include <fstream>
 #include <random>
 #include <sstream>
 
 #include "common/logging.hh"
+#include "explore/cache.hh"
 #include "explore/explorer.hh"
 #include "workloads/workloads.hh"
 
@@ -291,6 +294,48 @@ TEST_F(ExploreEngine, CacheToleratesCorruptAndForeignSchemaLines)
     EXPECT_EQ(warm.evaluate().size(), 2u);
     EXPECT_EQ(warm.stats().simulated, 0u);
     EXPECT_EQ(warm.stats().cacheHits, 4u);
+}
+
+TEST_F(ExploreEngine, CacheRoundTripsNonFiniteSamplesAsNull)
+{
+    // Regression: non-finite samples used to serialize through printf
+    // as bare `inf`/`nan`, corrupting the JSONL stream. They now
+    // serialize as JSON null and load back as quiet NaN — same sample
+    // count, finite neighbors untouched.
+    SweepPoint point;
+    point.core = CoreKind::kCv32e40p;
+    point.unit = RtosUnitConfig::vanilla();
+    point.workload = "mutex_workload";
+    point.iterations = 5;
+
+    CachedRun run;
+    run.ok = true;
+    run.cycles = 1234;
+    run.switchSamples = {42.0,
+                         std::numeric_limits<double>::quiet_NaN(),
+                         std::numeric_limits<double>::infinity(),
+                         7.5};
+    {
+        ResultCache cache(dir_);
+        cache.insert(point, run);
+    }
+    ResultCache reloaded(dir_);
+    CachedRun back;
+    ASSERT_TRUE(reloaded.lookup(point, &back));
+    EXPECT_TRUE(back.ok);
+    EXPECT_EQ(back.cycles, 1234u);
+    ASSERT_EQ(back.switchSamples.size(), 4u);
+    EXPECT_DOUBLE_EQ(back.switchSamples[0], 42.0);
+    EXPECT_TRUE(std::isnan(back.switchSamples[1]));
+    EXPECT_TRUE(std::isnan(back.switchSamples[2]));  // null loses sign
+    EXPECT_DOUBLE_EQ(back.switchSamples[3], 7.5);
+    // The file itself never contains a bare inf/nan token.
+    std::ifstream is(reloaded.filePath());
+    std::string text((std::istreambuf_iterator<char>(is)),
+                     std::istreambuf_iterator<char>());
+    EXPECT_EQ(text.find("inf"), std::string::npos);
+    EXPECT_EQ(text.find("nan"), std::string::npos);
+    EXPECT_NE(text.find("null"), std::string::npos);
 }
 
 TEST_F(ExploreEngine, AnalyticPrefilterSkipsBeforeSimulating)

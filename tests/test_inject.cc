@@ -1,0 +1,287 @@
+/** Fault-injection engine tests: outcome classification (all five
+ *  classes), fault-plan determinism, campaign thread-count
+ *  independence, and seeded defects each runtime oracle is guaranteed
+ *  to catch (context flip, TCB corruption, stack-canary smash). */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "harness/experiment.hh"
+#include "inject/campaign.hh"
+#include "inject/fault.hh"
+#include "inject/oracle.hh"
+#include "kernel/layout.hh"
+#include "sim/hostio.hh"
+#include "workloads/workloads.hh"
+
+namespace rtu {
+namespace {
+
+GoldenRecord
+syntheticGolden()
+{
+    GoldenRecord g;
+    g.run.exitCode = 0;
+    g.events = {{tag::kWorkItem, 1}, {tag::kWorkItem, 2}};
+    return g;
+}
+
+TEST(ClassifyOutcome, OracleBeatsEveryOtherSignal)
+{
+    const GoldenRecord g = syntheticGolden();
+    // Even a crashed or hung run classifies as detected-oracle when
+    // an oracle fired first: the oracle is the earliest detector.
+    EXPECT_EQ(classifyOutcome(1, RunStatus::kNoRetire, 0, g.events, g),
+              FaultOutcome::kDetectedOracle);
+    EXPECT_EQ(classifyOutcome(3, RunStatus::kCycleLimit, 7, {}, g),
+              FaultOutcome::kDetectedOracle);
+    EXPECT_EQ(classifyOutcome(1, RunStatus::kExited, 0, g.events, g),
+              FaultOutcome::kDetectedOracle);
+}
+
+TEST(ClassifyOutcome, WatchdogCatchesNoRetireAndGuestFaults)
+{
+    const GoldenRecord g = syntheticGolden();
+    EXPECT_EQ(classifyOutcome(0, RunStatus::kNoRetire, 0, g.events, g),
+              FaultOutcome::kDetectedWatchdog);
+    // A guest crash (illegal instruction, bus error) is platform-level
+    // detection, grouped with the watchdog — not silent corruption.
+    EXPECT_EQ(classifyOutcome(0, RunStatus::kGuestFault, 0, {}, g),
+              FaultOutcome::kDetectedWatchdog);
+}
+
+TEST(ClassifyOutcome, CycleLimitIsHang)
+{
+    const GoldenRecord g = syntheticGolden();
+    EXPECT_EQ(classifyOutcome(0, RunStatus::kCycleLimit, 0, g.events, g),
+              FaultOutcome::kHang);
+}
+
+TEST(ClassifyOutcome, CleanExitMatchingGoldenIsMasked)
+{
+    const GoldenRecord g = syntheticGolden();
+    EXPECT_EQ(classifyOutcome(0, RunStatus::kExited, 0, g.events, g),
+              FaultOutcome::kMasked);
+}
+
+TEST(ClassifyOutcome, WrongExitCodeOrEventsIsSilentCorruption)
+{
+    const GoldenRecord g = syntheticGolden();
+    EXPECT_EQ(classifyOutcome(0, RunStatus::kExited, 1, g.events, g),
+              FaultOutcome::kSilentCorruption);
+    SemanticEvents wrong = g.events;
+    wrong.back().second ^= 1;
+    EXPECT_EQ(classifyOutcome(0, RunStatus::kExited, 0, wrong, g),
+              FaultOutcome::kSilentCorruption);
+    // A dropped event is as corrupt as a changed one.
+    wrong = g.events;
+    wrong.pop_back();
+    EXPECT_EQ(classifyOutcome(0, RunStatus::kExited, 0, wrong, g),
+              FaultOutcome::kSilentCorruption);
+}
+
+TEST(CampaignAggregates, CoverageCountsDetectedOverNonMasked)
+{
+    CampaignResult res;
+    const auto push = [&](FaultOutcome o) {
+        FaultRunRecord r;
+        r.outcome = o;
+        res.faults.push_back(r);
+    };
+    push(FaultOutcome::kMasked);
+    push(FaultOutcome::kMasked);
+    push(FaultOutcome::kDetectedOracle);
+    push(FaultOutcome::kDetectedWatchdog);
+    push(FaultOutcome::kHang);
+    push(FaultOutcome::kSilentCorruption);
+    EXPECT_EQ(res.countOf(FaultOutcome::kMasked), 2u);
+    EXPECT_EQ(res.countOf(FaultOutcome::kDetectedOracle), 1u);
+    // 2 detected out of 4 non-masked.
+    EXPECT_DOUBLE_EQ(res.detectionCoverage(), 0.5);
+}
+
+TEST(CampaignAggregates, AllMaskedCampaignHasFullCoverage)
+{
+    CampaignResult res;
+    FaultRunRecord r;
+    r.outcome = FaultOutcome::kMasked;
+    res.faults = {r, r, r};
+    // Nothing escaped because nothing took effect.
+    EXPECT_DOUBLE_EQ(res.detectionCoverage(), 1.0);
+}
+
+SweepPoint
+smallPoint(const char *config, const char *workload = "yield_pingpong")
+{
+    SweepPoint pt;
+    pt.core = CoreKind::kCv32e40p;
+    pt.unit = RtosUnitConfig::fromName(config);
+    pt.workload = workload;
+    pt.iterations = 4;
+    pt.timerPeriodCycles = 1000;
+    pt.reseed();
+    return pt;
+}
+
+TEST(FaultPlan, DeterministicInSeedAndPointKey)
+{
+    const SweepPoint pt = smallPoint("SLT");
+    const WorkloadInfo winfo =
+        makeWorkload(pt.workload, pt.iterations)->info();
+    const auto a = makeFaultPlan(7, pt, winfo, 8);
+    const auto b = makeFaultPlan(7, pt, winfo, 8);
+    ASSERT_EQ(a.size(), 8u);
+    ASSERT_EQ(b.size(), 8u);
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].describe(), b[i].describe()) << i;
+
+    // A different campaign seed yields a different plan.
+    const auto c = makeFaultPlan(8, pt, winfo, 8);
+    bool anyDiff = false;
+    for (size_t i = 0; i < a.size(); ++i)
+        anyDiff = anyDiff || a[i].describe() != c[i].describe();
+    EXPECT_TRUE(anyDiff);
+}
+
+TEST(FaultPlan, OnlyApplicableKindsArePlanned)
+{
+    // Vanilla has no RTOSUnit: no FSM/port perturbations may appear.
+    const SweepPoint pt = smallPoint("vanilla");
+    const WorkloadInfo winfo =
+        makeWorkload(pt.workload, pt.iterations)->info();
+    for (const FaultSpec &f : makeFaultPlan(3, pt, winfo, 16)) {
+        EXPECT_NE(f.kind, FaultKind::kMemStall) << f.describe();
+        EXPECT_NE(f.kind, FaultKind::kFsmStall) << f.describe();
+        EXPECT_NE(f.kind, FaultKind::kFsmAbort) << f.describe();
+    }
+}
+
+/** Seeded defects: each oracle must catch its guaranteed fixture and
+ *  the paired clean run must stay silent (soundness). */
+class SeededDefect : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setQuiet(true); }
+
+    FaultRunRecord
+    runFixture(const char *config, const FaultSpec &fault)
+    {
+        GoldenRecord golden;
+        const FaultRunRecord rec =
+            runSingleFault(smallPoint(config), fault, true, &golden);
+        EXPECT_EQ(golden.oracleHits, 0u)
+            << config << " clean run fired: " << golden.oracleDetail;
+        EXPECT_TRUE(rec.fired) << fault.describe();
+        return rec;
+    }
+};
+
+TEST_F(SeededDefect, ContextFlipCaughtByContextOracle)
+{
+    FaultSpec f;
+    f.kind = FaultKind::kCtxFlip;
+    f.episode = 2;
+    f.word = 4;  // x5: compared at every resume
+    f.bitMask = 0xFF0;
+    for (const char *config : {"vanilla", "S", "SDLOT", "CV32RT"}) {
+        const FaultRunRecord rec = runFixture(config, f);
+        EXPECT_EQ(rec.outcome, FaultOutcome::kDetectedOracle)
+            << config << ": " << faultOutcomeName(rec.outcome);
+        EXPECT_EQ(rec.oracleName, "context") << rec.oracleDetail;
+    }
+}
+
+TEST_F(SeededDefect, TcbIdFlipCaughtByListOracle)
+{
+    FaultSpec f;
+    f.kind = FaultKind::kTcbField;
+    f.episode = 2;
+    f.tcbField = kernel::kTcbId;  // breaks table<->TCB mapping
+    f.bitMask = 0x7;
+    f.taskSel = 1;
+    for (const char *config : {"vanilla", "T"}) {
+        const FaultRunRecord rec = runFixture(config, f);
+        EXPECT_EQ(rec.outcome, FaultOutcome::kDetectedOracle)
+            << config << ": " << faultOutcomeName(rec.outcome);
+        EXPECT_EQ(rec.oracleName, "list") << rec.oracleDetail;
+    }
+}
+
+TEST_F(SeededDefect, FsmAbortCaughtByContextOracle)
+{
+    FaultSpec f;
+    f.kind = FaultKind::kFsmAbort;
+    f.episode = 3;
+    f.cycles = 2;  // kill the store drain near its start
+    const FaultRunRecord rec = runFixture("S", f);
+    EXPECT_EQ(rec.outcome, FaultOutcome::kDetectedOracle)
+        << faultOutcomeName(rec.outcome);
+    EXPECT_EQ(rec.oracleName, "context") << rec.oracleDetail;
+}
+
+TEST_F(SeededDefect, SmashedStackCanaryCaughtByFinalCheck)
+{
+    // No FaultSpec smashes canaries directly; drive the oracle by
+    // hand: plant, overwrite task 0's stack-base magic word, run, and
+    // the end-of-run sweep must report it.
+    const SweepPoint pt = smallPoint("SLT");
+    const auto workload = makeWorkload(pt.workload, pt.iterations);
+    RunOptions opts;
+    opts.timerPeriodCycles = pt.timerPeriodCycles;
+    opts.seed = pt.seed;
+    std::unique_ptr<KernelOracle> oracle;
+    opts.preRun = [&](Simulation &sim) {
+        oracle = std::make_unique<KernelOracle>(sim, pt.unit);
+        oracle->plantCanaries();
+        const Addr base = sim.findSymbolAddr("k_stack_0");
+        ASSERT_NE(base, 0u);
+        sim.mem().write32(base, KernelOracle::kCanary ^ 0xFFFF);
+    };
+    opts.postRun = [&](Simulation &) { oracle->finalCheck(); };
+    const RunResult run =
+        runWorkload(pt.core, pt.unit, *workload, opts);
+    EXPECT_TRUE(run.ok);
+    ASSERT_GT(oracle->hitCount(), 0u);
+    EXPECT_EQ(oracle->hits().front().oracle, "canary")
+        << oracle->hits().front().detail;
+}
+
+TEST(Campaign, ByteIdenticalJsonlAtAnyThreadCount)
+{
+    setQuiet(true);
+    SweepSpec spec;
+    spec.cores = {CoreKind::kCv32e40p};
+    spec.units = {RtosUnitConfig::vanilla(),
+                  RtosUnitConfig::fromName("S")};
+    spec.workloads = {"yield_pingpong"};
+    spec.iterations = 4;
+    spec.timerPeriods = {1000};
+    CampaignSpec cs;
+    cs.points = spec.points();
+    cs.faultsPerPoint = 3;
+    cs.seed = 11;
+
+    const auto jsonl = [&](unsigned threads) {
+        const CampaignResult res = runCampaign(cs, SweepRunner(threads));
+        EXPECT_EQ(res.cleanOracleHits(), 0u);
+        std::ostringstream os;
+        writeCampaignJsonl(os, cs, res);
+        return os.str();
+    };
+    const std::string serial = jsonl(1);
+    const std::string parallel = jsonl(4);
+    EXPECT_FALSE(serial.empty());
+    EXPECT_EQ(serial, parallel);
+    // One record per planned fault, plan order.
+    EXPECT_EQ(static_cast<unsigned>(
+                  std::count(serial.begin(), serial.end(), '\n')),
+              cs.faultsPerPoint *
+                  static_cast<unsigned>(cs.points.size()));
+}
+
+} // namespace
+} // namespace rtu

@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "common/json.hh"
@@ -58,6 +60,74 @@ TEST(JsonUnescape, UnicodeEscapes)
     EXPECT_EQ(jsonUnescape("\\u00"), "\\u00");
     EXPECT_EQ(jsonUnescape("\\uzzzz"), "\\uzzzz");
     EXPECT_EQ(jsonUnescape("trailing\\"), "trailing\\");
+}
+
+TEST(JsonNumber, FiniteValuesUseTheRequestedFormat)
+{
+    EXPECT_EQ(jsonNumber(1.5), "1.5");
+    EXPECT_EQ(jsonNumber(2.0, "%.3f"), "2.000");
+    EXPECT_EQ(jsonNumber(0.0), "0");
+    EXPECT_EQ(jsonNumber(-7.25, "%.2f"), "-7.25");
+}
+
+TEST(JsonNumber, NonFiniteValuesBecomeNull)
+{
+    // printf would emit bare `inf`/`nan`, which no JSON parser
+    // accepts; every non-finite value must serialize as null.
+    const double inf = std::numeric_limits<double>::infinity();
+    EXPECT_EQ(jsonNumber(inf), "null");
+    EXPECT_EQ(jsonNumber(-inf), "null");
+    EXPECT_EQ(jsonNumber(std::nan("")), "null");
+    EXPECT_EQ(jsonNumber(inf, "%.3f"), "null");  // fmt ignored
+}
+
+TEST(JsonNumber, RoundTripsThroughParse)
+{
+    for (const double v : {0.0, 1.0, -3.5, 1e300, 1e-300,
+                           12345.678901234567}) {
+        double back = 0;
+        bool wasNull = true;
+        ASSERT_TRUE(jsonParseNumber(jsonNumber(v), &back, &wasNull));
+        EXPECT_EQ(back, v);  // %.17g is round-trip exact
+        EXPECT_FALSE(wasNull);
+    }
+}
+
+TEST(JsonParseNumber, NullParsesAsNanWithFlag)
+{
+    double v = 0;
+    bool wasNull = false;
+    ASSERT_TRUE(jsonParseNumber("null", &v, &wasNull));
+    EXPECT_TRUE(wasNull);
+    EXPECT_TRUE(std::isnan(v));
+    // Whitespace around the token is tolerated (cache lines are
+    // sliced by comma, leaving incidental spaces).
+    ASSERT_TRUE(jsonParseNumber("  null ", &v, &wasNull));
+    EXPECT_TRUE(wasNull);
+}
+
+TEST(JsonParseNumber, LegacyBareInfNanStillParse)
+{
+    // Streams written before the jsonNumber fix carry printf's bare
+    // inf/nan; strtod accepts them, so old caches keep loading.
+    double v = 0;
+    bool wasNull = true;
+    ASSERT_TRUE(jsonParseNumber("inf", &v, &wasNull));
+    EXPECT_TRUE(std::isinf(v));
+    EXPECT_FALSE(wasNull);
+    ASSERT_TRUE(jsonParseNumber("nan", &v, &wasNull));
+    EXPECT_TRUE(std::isnan(v));
+    EXPECT_FALSE(wasNull);
+}
+
+TEST(JsonParseNumber, RejectsMalformedText)
+{
+    double v = 0;
+    EXPECT_FALSE(jsonParseNumber("", &v));
+    EXPECT_FALSE(jsonParseNumber("abc", &v));
+    EXPECT_FALSE(jsonParseNumber("1.5x", &v));
+    EXPECT_FALSE(jsonParseNumber("nulll", &v));
+    EXPECT_FALSE(jsonParseNumber("1.5 2.5", &v));
 }
 
 TEST(JsonEscape, SweepResultWriterEscapesWorkloadNames)

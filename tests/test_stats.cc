@@ -195,6 +195,33 @@ TEST(SampleStats, MergeEmptyIsNoOp)
     EXPECT_TRUE(fresh.empty());
 }
 
+TEST(SampleStats, AllDuplicateSamplesHaveZeroSpread)
+{
+    SampleStats s;
+    for (int i = 0; i < 6; ++i)
+        s.add(4.0);
+    EXPECT_EQ(s.count(), 6u);
+    EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(s.jitter(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+    for (double p : {0.0, 0.5, 0.99, 1.0})
+        EXPECT_DOUBLE_EQ(s.percentile(p), 4.0) << "p=" << p;
+}
+
+TEST(SampleStats, MergeIntoEmptyAdoptsEverything)
+{
+    SampleStats empty;
+    SampleStats b;
+    b.add(2.0);
+    b.add(8.0);
+    empty.merge(b);
+    EXPECT_EQ(empty.count(), 2u);
+    EXPECT_DOUBLE_EQ(empty.min(), 2.0);
+    EXPECT_DOUBLE_EQ(empty.max(), 8.0);
+    EXPECT_DOUBLE_EQ(empty.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(empty.percentile(1.0), 8.0);
+}
+
 TEST(SampleStatsDeath, EmptyAggregatesPanic)
 {
     SampleStats s;

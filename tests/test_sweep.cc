@@ -155,13 +155,14 @@ TEST(SweepRunner, TraceCarriesAllSixPhaseTimestamps)
     EXPECT_GT(lines, 0u);
 
     // On (SLT) the hardware performs store+sched+load: the phases
-    // must actually be stamped (non-zero) on switching episodes.
+    // must actually be stamped (not the absent-phase null) on
+    // switching episodes.
     bool sawStamped = false;
     std::istringstream is2(trace);
     while (std::getline(is2, line)) {
-        if (line.find("\"store_done\":0,") == std::string::npos &&
-            line.find("\"sched_done\":0,") == std::string::npos &&
-            line.find("\"load_done\":0,") == std::string::npos) {
+        if (line.find("\"store_done\":null,") == std::string::npos &&
+            line.find("\"sched_done\":null,") == std::string::npos &&
+            line.find("\"load_done\":null,") == std::string::npos) {
             sawStamped = true;
             break;
         }

@@ -143,6 +143,38 @@ TEST(SwitchRecorder, SinkReceivesEpisodesIncludingPreempted)
     }
 }
 
+TEST(TraceSinks, Cycle0PhaseIsDistinctFromPhaseAbsent)
+{
+    // Regression: phases used to serialize "never ran" as 0, making a
+    // phase that legitimately completed at cycle 0 (interrupt at
+    // reset) indistinguishable from one the configuration performs in
+    // software. Absent phases carry kNoPhase and serialize as JSON
+    // null / an empty CSV cell; a real cycle-0 stamp prints as 0.
+    EpisodeTrace stamped;
+    stamped.irqAssert = 0;
+    stamped.trapTaken = 0;
+    stamped.storeDone = 0;   // hardware store drained at cycle 0
+    stamped.mret = 5;        // sched/load stay kNoPhase
+
+    std::ostringstream js;
+    JsonlTraceSink jsink(js);
+    jsink.beginRun(TraceRunLabel{});
+    jsink.episode(stamped);
+    EXPECT_NE(js.str().find("\"store_done\":0,"), std::string::npos);
+    EXPECT_NE(js.str().find("\"sched_done\":null,"),
+              std::string::npos);
+    EXPECT_NE(js.str().find("\"load_done\":null,"), std::string::npos);
+
+    std::ostringstream cs;
+    CsvTraceSink csink(cs);
+    csink.beginRun(TraceRunLabel{});
+    csink.episode(stamped);
+    // CSV tail: irq,trap,store,sched,load,mret — a stamped 0 prints,
+    // absent phases leave their cell empty.
+    EXPECT_NE(cs.str().find(",0,0,0,,,5\n"), std::string::npos)
+        << cs.str();
+}
+
 TEST(TraceSinks, CsvHasHeaderAndOneRowPerEpisode)
 {
     std::ostringstream os;
