@@ -19,6 +19,7 @@
  *                      [--constraint area<=1.35]... [--minimize OBJ]
  *                      [--cache-dir DIR] [--threads N]
  *                      [--robust-faults N] [--robust-seed S]
+ *                      [--sched-tasksets N] [--sched-seed S]
  *                      [--out explore.json] [--md frontier.md]
  */
 
@@ -113,6 +114,11 @@ main(int argc, char **argv)
                        "the detect objective");
     parser.addU64("--robust-seed", &spec.robustnessSeed,
                   "campaign seed of the robustness objective");
+    parser.addUnsigned("--sched-tasksets", &spec.schedTasksets,
+                       "RTA taskset shapes per design point; adds "
+                       "the sched-util objective");
+    parser.addU64("--sched-seed", &spec.schedSeed,
+                  "seed of the sched-util taskset shapes");
     parser.addString("--out", &out_path, "JSON report path");
     parser.addString("--md", &md_path, "markdown frontier table path");
     parser.addFlag("--no-wcet", &no_wcet,

@@ -245,7 +245,7 @@ main(int argc, char **argv)
     std::ofstream os(out_path);
     if (!os)
         fatal("cannot open --out file '%s'", out_path.c_str());
-    os << "{\"iterations\":" << iterations
+    os << "{\"schema\":1,\"iterations\":" << iterations
        << ",\"timer_period\":" << timer_period << ",\"results\":[";
     for (size_t i = 0; i < reports.size(); ++i) {
         const PointReport &r = reports[i];

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Shared deterministic PRNG + string-hash primitives.
+ *
+ * Every subsystem that fans work out across a thread pool (sweep,
+ * inject, sched) derives its per-point randomness from these two
+ * functions and *only* from its inputs — never from thread identity,
+ * wall clock or iteration order — so campaigns are byte-reproducible
+ * from their seed alone at any --threads value.
+ */
+
+#ifndef RTU_COMMON_RNG_HH
+#define RTU_COMMON_RNG_HH
+
+#include <cstdint>
+#include <string>
+
+namespace rtu {
+
+/** SplitMix64: tiny, fast, well-mixed deterministic generator. */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(std::uint64_t seed) : x_(seed) {}
+
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (x_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform-ish draw in [0, bound); bound must be nonzero. */
+    std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+
+    /** Uniform double in [0, 1) with 53 bits of precision. */
+    double
+    unit()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+  private:
+    std::uint64_t x_;
+};
+
+/**
+ * FNV-1a over a string: the canonical way a textual point key
+ * becomes a 64-bit seed (sweep per-point seeds, inject plan seeds).
+ */
+inline std::uint64_t
+fnv1a(const std::string &s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+} // namespace rtu
+
+#endif // RTU_COMMON_RNG_HH

@@ -68,6 +68,12 @@ struct DesignEval
     bool hasDetect = false;
     double detectCoverage = 0;
 
+    // Schedulability side (opt-in RTA co-analysis): mean breakdown
+    // utilization over seeded taskset shapes, with overhead terms
+    // taken from this design's own measured switch path.
+    bool hasSchedUtil = false;
+    double schedUtil = 0;
+
     // Implementation side (analytical 22 nm models).
     double areaNorm = 1.0;  ///< vs the same core's vanilla build
     double areaMm2 = 0;

@@ -60,6 +60,18 @@ struct ExploreSpec
      */
     unsigned robustnessFaults = 0;
     std::uint64_t robustnessSeed = 1;
+    /**
+     * When nonzero, compute the "sched-util" objective: the mean RTA
+     * breakdown utilization over this many seeded taskset shapes, the
+     * overhead terms fed from the design's own measured switch path
+     * (schedMargin x latMax per switch episode; the static WCET bound
+     * as the tick cost where available). A ranking heuristic over the
+     * grid — the simulator-validated, soundness-gated campaign lives
+     * in bench_sched.
+     */
+    unsigned schedTasksets = 0;
+    std::uint64_t schedSeed = 1;
+    double schedMargin = 1.25;
     /** Compute the static WCET objective (CV32E40P points only). */
     bool computeWcet = true;
     /** Frequency for the power objective (paper: 500 MHz). */

@@ -19,6 +19,7 @@ objectiveName(Objective o)
       case Objective::kFmax: return "fmax";
       case Objective::kPower: return "power";
       case Objective::kDetect: return "detect";
+      case Objective::kSchedUtil: return "sched-util";
     }
     return "?";
 }
@@ -29,18 +30,19 @@ objectiveFromName(const std::string &name)
     for (Objective o : {Objective::kLatMean, Objective::kLatJitter,
                         Objective::kWcet, Objective::kArea,
                         Objective::kFmax, Objective::kPower,
-                        Objective::kDetect}) {
+                        Objective::kDetect, Objective::kSchedUtil}) {
         if (name == objectiveName(o))
             return o;
     }
     fatal("unknown objective '%s' (expected lat_mean, jitter, wcet, "
-          "area, fmax, power or detect)", name.c_str());
+          "area, fmax, power, detect or sched-util)", name.c_str());
 }
 
 bool
 objectiveMaximized(Objective o)
 {
-    return o == Objective::kFmax || o == Objective::kDetect;
+    return o == Objective::kFmax || o == Objective::kDetect ||
+           o == Objective::kSchedUtil;
 }
 
 double
@@ -54,6 +56,7 @@ objectiveValue(const DesignEval &e, Objective o)
       case Objective::kFmax: return e.fmaxGHz;
       case Objective::kPower: return e.powerMw;
       case Objective::kDetect: return e.detectCoverage;
+      case Objective::kSchedUtil: return e.schedUtil;
     }
     panic("unknown objective");
 }
@@ -66,6 +69,9 @@ canonicalValue(const DesignEval &e, Objective o)
     // A point whose robustness was never campaigned scores worst on
     // the detect axis (coverage is maximized, so canonical +inf).
     if (o == Objective::kDetect && !e.hasDetect)
+        return std::numeric_limits<double>::infinity();
+    // Likewise for a point whose schedulability was never analyzed.
+    if (o == Objective::kSchedUtil && !e.hasSchedUtil)
         return std::numeric_limits<double>::infinity();
     const double v = objectiveValue(e, o);
     return objectiveMaximized(o) ? -v : v;

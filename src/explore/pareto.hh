@@ -28,16 +28,18 @@ enum class Objective
     kFmax,       ///< achievable frequency [GHz] (maximize)
     kPower,      ///< average power [mW] (minimize)
     kDetect,     ///< fault-detection coverage [0..1] (maximize)
+    kSchedUtil,  ///< RTA breakdown utilization [0..1] (maximize)
 };
 
 const char *objectiveName(Objective o);
 
 /** Parse "lat_mean", "jitter", "wcet", "area", "fmax", "power",
- *  "detect" (fatal on unknown names: user-facing input). */
+ *  "detect", "sched-util" (fatal on unknown names: user-facing
+ *  input). */
 Objective objectiveFromName(const std::string &name);
 
-/** f_max and detection coverage are maximized; every other objective
- *  is a cost. */
+/** f_max, detection coverage and breakdown utilization are
+ *  maximized; every other objective is a cost. */
 bool objectiveMaximized(Objective o);
 
 /** Raw objective value as reported (f_max in GHz, area as a ratio). */

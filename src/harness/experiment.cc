@@ -17,6 +17,7 @@ runWorkload(CoreKind core, const RtosUnitConfig &unit,
     kparams.unit = unit;
     kparams.timerPeriodCycles = opts.timerPeriodCycles;
     kparams.usesExternalIrq = winfo.usesExternalIrq;
+    kparams.usesDelayUntil = winfo.usesDelayUntil;
 
     KernelBuilder kb(kparams);
     workload.addTasks(kb);

@@ -7,18 +7,6 @@ namespace rtu {
 
 namespace {
 
-/** FNV-1a, matching the sweep's per-point seed function. */
-std::uint64_t
-fnv1a(const std::string &s)
-{
-    std::uint64_t h = 0xcbf29ce484222325ull;
-    for (unsigned char c : s) {
-        h ^= c;
-        h *= 0x100000001b3ull;
-    }
-    return h;
-}
-
 /** TCB fields worth corrupting (linkage, identity, timing, stack). */
 constexpr Word kTcbFields[] = {
     kernel::kTcbTop,  kernel::kTcbId,   kernel::kTcbPrio,

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.hh"
 #include "common/types.hh"
 #include "rtosunit/config.hh"
 #include "sweep/sweep.hh"
@@ -62,28 +63,6 @@ struct FaultSpec
 
     /** Human-readable one-liner for logs and test failures. */
     std::string describe() const;
-};
-
-/** SplitMix64: the campaign's deterministic plan generator. */
-class SplitMix64
-{
-  public:
-    explicit SplitMix64(std::uint64_t seed) : x_(seed) {}
-
-    std::uint64_t
-    next()
-    {
-        std::uint64_t z = (x_ += 0x9e3779b97f4a7c15ull);
-        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-        return z ^ (z >> 31);
-    }
-
-    /** Uniform-ish draw in [0, bound); bound must be nonzero. */
-    std::uint64_t below(std::uint64_t bound) { return next() % bound; }
-
-  private:
-    std::uint64_t x_;
 };
 
 /**

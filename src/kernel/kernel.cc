@@ -485,7 +485,15 @@ KernelBuilder::emitIsrVanillaFamily()
         a.call("k_tick");
     }
     // With (T), the auto-resetting timer and the hardware delay list
-    // leave nothing to do (paper Section 4.4).
+    // leave nothing to do (paper Section 4.4) — unless k_delay_until
+    // needs a live tick count to convert absolute wake ticks into the
+    // relative counts the hardware delay list consumes.
+    if (u.sched && params_.usesDelayUntil) {
+        a.la(T0, "k_tick_count");
+        a.lw(T1, 0, T0);
+        a.addi(T1, T1, 1);
+        a.sw(T1, 0, T0);
+    }
     a.j("k_isrv_select");
 
     a.label("k_isrv_sw");
@@ -548,6 +556,14 @@ KernelBuilder::emitIsrStoreFamily()
         a.add(T1, T1, T2);
         a.sw(T1, 0, T0);
         a.call("k_tick");
+    }
+    // See emitIsrVanillaFamily: k_delay_until keeps the tick count
+    // live even when the hardware scheduler owns the delay list.
+    if (u.sched && params_.usesDelayUntil) {
+        a.la(T0, "k_tick_count");
+        a.lw(T1, 0, T0);
+        a.addi(T1, T1, 1);
+        a.sw(T1, 0, T0);
     }
     a.j("k_isrs_select");
 
@@ -721,6 +737,53 @@ KernelBuilder::emitTaskApi()
     a.csrrsi(Zero, csr::kMstatus, 8);  // interrupt fires here
     a.ret();
     a.fnEnd();
+
+    // -- k_delay_until(a0 = absolute wake tick) ---------------------------
+    // Periodic-release primitive: the whole read-compare-insert runs
+    // inside one interrupt-disabled window, so the relative count
+    // handed to the hardware delay list cannot be stale by a tick.
+    if (params_.usesDelayUntil) {
+        a.fnBegin("k_delay_until");
+        a.csrrci(Zero, csr::kMstatus, 8);
+        a.la(T0, "k_tick_count");
+        a.lw(T1, 0, T0);
+        a.sub(T2, A0, T1);
+        // Tardy release (wake tick already passed): run immediately.
+        a.bge(Zero, T2, "k_duntil_now");
+        a.la(T0, "k_current_tcb");
+        a.lw(T1, 0, T0);
+        if (hw) {
+            a.lw(T3, kTcbId, T1);
+            a.lw(T4, kTcbPrio, T1);
+            a.rtuRmTask(T3);
+            a.rtuAddDelay(T4, T2);
+        } else {
+            a.sw(A0, kTcbWake, T1);
+            a.mv(T3, A0);
+            inlineListRemove(T1, T4, T5);
+            // Wake-time-sorted insert, same shape as k_delay.
+            a.la(T4, "k_delay_sentinel");
+            a.lw(T5, kTcbNext, T4);
+            a.label("k_duntil_loop");
+            a.beq(T5, T4, "k_duntil_ins");
+            a.lw(T6, kTcbWake, T5);
+            a.bltu(T3, T6, "k_duntil_ins");
+            a.lw(T5, kTcbNext, T5);
+            a.loopBound(kMaxTasks);
+            a.j("k_duntil_loop");
+            a.label("k_duntil_ins");
+            a.lw(T6, kTcbPrev, T5);
+            a.sw(T5, kTcbNext, T1);
+            a.sw(T6, kTcbPrev, T1);
+            a.sw(T1, kTcbNext, T6);
+            a.sw(T1, kTcbPrev, T5);
+        }
+        inlineRaiseMsip(T4, T5);
+        a.label("k_duntil_now");
+        a.csrrsi(Zero, csr::kMstatus, 8);  // interrupt fires here
+        a.ret();
+        a.fnEnd();
+    }
 
     // -- k_mutex_take(a0 = mutex) -------------------------------------------
     a.fnBegin("k_mutex_take");
@@ -910,6 +973,16 @@ KernelBuilder::callDelay(Word ticks)
 {
     asm_.li(A0, static_cast<SWord>(ticks));
     asm_.call("k_delay");
+}
+
+void
+KernelBuilder::callDelayUntil(Reg tick_reg)
+{
+    rtu_assert(params_.usesDelayUntil,
+               "callDelayUntil requires KernelParams::usesDelayUntil");
+    if (tick_reg != A0)
+        asm_.mv(A0, tick_reg);
+    asm_.call("k_delay_until");
 }
 
 void

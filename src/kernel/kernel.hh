@@ -54,6 +54,15 @@ struct KernelParams
     RtosUnitConfig unit;
     Word timerPeriodCycles = 1000;
     bool usesExternalIrq = false;  ///< emit the deferred-handler path
+    /**
+     * Emit k_delay_until (absolute-tick sleep for periodic tasks).
+     * On hardware-scheduler configurations this also adds a
+     * k_tick_count increment to the otherwise-empty timer ISR path so
+     * absolute wake ticks can be converted to the relative counts the
+     * hardware delay list consumes. Default off: every kernel the
+     * existing benches/tests generate stays byte-identical.
+     */
+    bool usesDelayUntil = false;
 };
 
 class KernelBuilder
@@ -81,6 +90,12 @@ class KernelBuilder
 
     void callYield();
     void callDelay(Word ticks);
+    /**
+     * Sleep until the absolute tick in @p tick_reg (requires
+     * KernelParams::usesDelayUntil). Tardy releases (tick already
+     * passed) return immediately instead of sleeping a full epoch.
+     */
+    void callDelayUntil(Reg tick_reg);
     void callMutexTake(const std::string &mutex_sym);
     void callMutexGive(const std::string &mutex_sym);
     void callSemTake(const std::string &sem_sym);

@@ -1,0 +1,332 @@
+#include "campaign.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "kernel/kernel.hh"
+#include "sweep/sweep.hh"
+#include "trace/trace.hh"
+#include "wcet/wcet.hh"
+
+namespace rtu {
+
+namespace {
+
+/** In-memory sink for the overhead-measurement probe runs. */
+class VectorTraceSink : public TraceSink
+{
+  public:
+    void beginRun(const TraceRunLabel &) override {}
+    void episode(const EpisodeTrace &e) override { episodes_.push_back(e); }
+
+    const std::vector<EpisodeTrace> &episodes() const { return episodes_; }
+
+  private:
+    std::vector<EpisodeTrace> episodes_;
+};
+
+/** Taskset parameters for the overhead probe: moderate load, same
+ *  shape knobs as the campaign so the same kernel paths run. */
+TasksetParams
+probeParams(const SchedCampaignSpec &spec)
+{
+    TasksetParams p = spec.taskset;
+    p.totalUtil = std::min(0.5, static_cast<double>(p.tasks));
+    return p;
+}
+
+void
+accumulate(const std::vector<EpisodeTrace> &episodes,
+           OverheadMeasurement *m)
+{
+    for (const EpisodeTrace &e : episodes) {
+        if (e.preempted)
+            continue;  // truncated episode: no complete latency
+        const double lat = static_cast<double>(e.latency());
+        const double entry = static_cast<double>(e.trapTaken) -
+                             static_cast<double>(e.irqAssert);
+        m->measEntryMax = std::max(m->measEntryMax, entry);
+        if (e.fromTask != e.toTask)
+            m->measSwitchMax = std::max(m->measSwitchMax, lat);
+        else
+            m->measTickMax = std::max(m->measTickMax, lat);
+    }
+}
+
+double
+maxNorm(const RtaResult &rta, const std::vector<RtaTask> &tasks)
+{
+    double norm = 0.0;
+    for (size_t i = 0; i < tasks.size(); ++i) {
+        if (tasks[i].deadlineCycles > 0.0)
+            norm = std::max(norm, rta.tasks[i].responseCycles /
+                                      tasks[i].deadlineCycles);
+    }
+    return norm;
+}
+
+std::vector<RtaTask>
+effectiveRtaTasks(const Taskset &ts, const LowerParams &lower,
+                  const BusyCalibration &cal)
+{
+    // The solver bounds the *calibrated* job cost — the same iteration
+    // counts the lowered workload will run — never the nominal value.
+    std::vector<RtaTask> tasks;
+    const double clk = static_cast<double>(lower.timerPeriodCycles);
+    for (const SchedTask &t : ts.tasks) {
+        RtaTask rt;
+        rt.periodCycles = t.periodTicks * clk;
+        rt.deadlineCycles = t.deadlineTicks * clk;
+        const unsigned iters = busyItersFor(cal, t.util * rt.periodCycles);
+        rt.execCycles = effectiveExecCycles(cal, iters);
+        tasks.push_back(rt);
+    }
+    return tasks;
+}
+
+} // namespace
+
+OverheadMeasurement
+measureOverheads(CoreKind core, const RtosUnitConfig &unit,
+                 const SchedCampaignSpec &spec)
+{
+    OverheadMeasurement m;
+    const Word clk = spec.lower.timerPeriodCycles;
+    m.busy = calibrateBusy(core, unit, clk);
+
+    // Probe runs with phase tracing: a lowered taskset (the exact
+    // kernel flavour the campaign will run, k_delay_until included)
+    // plus two standard workloads for path diversity.
+    const Taskset probe =
+        makeTaskset(tasksetSeed(spec.seed, 0xFFFF, 0), probeParams(spec));
+    const auto probeWorkload =
+        lowerTaskset(probe, spec.lower, m.busy, "sched_probe");
+
+    VectorTraceSink sink;
+    RunOptions opts;
+    opts.timerPeriodCycles = clk;
+    opts.sink = &sink;
+    runWorkload(core, unit, *probeWorkload, opts);
+    runWorkload(core, unit, *makeDelayWake(8), opts);
+    runWorkload(core, unit, *makePriorityPreempt(8), opts);
+    accumulate(sink.episodes(), &m);
+    rtu_assert(m.measSwitchMax > 0.0,
+               "overhead probe on %s/%s observed no switch episodes",
+               coreKindName(core), unit.name().c_str());
+
+    if (core == CoreKind::kCv32e40p) {
+        // Static bound on the ISR of the kernel flavour actually run
+        // (usesDelayUntil changes the timer path on hw-sched configs).
+        KernelParams kp;
+        kp.unit = unit;
+        kp.timerPeriodCycles = clk;
+        kp.usesDelayUntil = true;
+        KernelBuilder kb(kp);
+        probeWorkload->addTasks(kb);
+        const Program program = kb.build();
+        WcetAnalyzer analyzer(program, unit);
+        m.hasWcet = true;
+        m.wcetCycles =
+            static_cast<double>(analyzer.analyzeIsr().totalCycles);
+    }
+
+    m.rta.tickPeriodCycles = static_cast<double>(clk);
+    m.rta.switchCost = spec.margin * m.measSwitchMax;
+    if (m.hasWcet)
+        m.rta.switchCost =
+            std::max(m.rta.switchCost,
+                     m.wcetCycles + spec.margin * m.measEntryMax);
+    m.rta.tickCost =
+        spec.margin *
+        (m.measTickMax > 0.0 ? m.measTickMax : m.measSwitchMax);
+    return m;
+}
+
+SchedCampaignResult
+runSchedCampaign(const SchedCampaignSpec &spec)
+{
+    rtu_assert(!spec.cores.empty() && !spec.configs.empty() &&
+                   !spec.utilGrid.empty() && spec.tasksetsPerUtil > 0,
+               "sched campaign with an empty axis");
+
+    SchedCampaignResult result;
+
+    // Overheads and calibrations: serial, up front, in grid order —
+    // shared read-only by the fan-out below.
+    std::vector<OverheadMeasurement> overheads;
+    for (CoreKind core : spec.cores)
+        for (const RtosUnitConfig &unit : spec.configs)
+            overheads.push_back(measureOverheads(core, unit, spec));
+
+    const size_t nUtil = spec.utilGrid.size();
+    const size_t nSet = spec.tasksetsPerUtil;
+    const size_t perPair = nUtil * nSet;
+    const size_t nPoints =
+        spec.cores.size() * spec.configs.size() * perPair;
+    result.points.resize(nPoints);
+
+    SweepRunner runner(spec.threads);
+    runner.forEachIndex(nPoints, [&](std::size_t idx) {
+        const size_t pair = idx / perPair;
+        const size_t ci = pair / spec.configs.size();
+        const size_t ki = pair % spec.configs.size();
+        const size_t ui = (idx % perPair) / nSet;
+        const size_t ti = idx % nSet;
+
+        const CoreKind core = spec.cores[ci];
+        const RtosUnitConfig &unit = spec.configs[ki];
+        const OverheadMeasurement &m = overheads[pair];
+
+        SchedPointResult &r = result.points[idx];
+        r.core = core;
+        r.config = unit.name();
+        r.utilIndex = static_cast<unsigned>(ui);
+        r.tasksetIndex = static_cast<unsigned>(ti);
+        r.util = spec.utilGrid[ui];
+        r.tasksetSeed = tasksetSeed(spec.seed, static_cast<unsigned>(ui),
+                                    static_cast<unsigned>(ti));
+
+        TasksetParams tparams = spec.taskset;
+        tparams.totalUtil = r.util;
+        const Taskset ts = makeTaskset(r.tasksetSeed, tparams);
+
+        const std::vector<RtaTask> rtaTasks =
+            effectiveRtaTasks(ts, spec.lower, m.busy);
+        const RtaResult rta = responseTimeAnalysis(rtaTasks, m.rta);
+        r.rtaSchedulable = rta.schedulable;
+        r.rtaMaxNorm = maxNorm(rta, rtaTasks);
+
+        if (!spec.simulate) {
+            r.status = "rta-only";
+            return;
+        }
+        r.simRan = true;
+        const auto workload = lowerTaskset(
+            ts, spec.lower, m.busy,
+            csprintf("sched_u%zu_s%zu", ui, ti));
+        RunOptions opts;
+        opts.timerPeriodCycles = spec.lower.timerPeriodCycles;
+        std::vector<GuestEvent> events;
+        opts.postRun = [&events](Simulation &sim) {
+            events = sim.hostIo().events();
+        };
+        const RunResult rr = runWorkload(core, unit, *workload, opts);
+        r.simOk = rr.ok;
+        r.status = rr.ok ? runStatusName(rr.status)
+                         : (rr.diagnostic.empty()
+                                ? runStatusName(rr.status)
+                                : rr.diagnostic);
+        const DeadlineReport report = checkDeadlines(
+            events, ts, spec.lower, horizonTicksFor(ts, spec.lower));
+        r.jobsExpected = report.jobsExpected;
+        r.jobsDone = report.jobsDone;
+        r.misses = report.misses;
+        r.simMaxNorm = report.maxNormResponse;
+        r.sound = !(r.rtaSchedulable && (!r.simOk || r.misses > 0));
+    });
+
+    // Rollups, grid order.
+    size_t pair = 0;
+    for (CoreKind core : spec.cores) {
+        for (const RtosUnitConfig &unit : spec.configs) {
+            SchedConfigSummary s;
+            s.core = core;
+            s.config = unit.name();
+            s.overheads = overheads[pair];
+            double pessimism = 0.0;
+            unsigned pessimismPoints = 0;
+            for (size_t i = pair * perPair; i < (pair + 1) * perPair;
+                 ++i) {
+                const SchedPointResult &r = result.points[i];
+                ++s.points;
+                if (r.rtaSchedulable)
+                    ++s.rtaSchedulable;
+                if (r.simRan && r.simOk && r.misses == 0)
+                    ++s.simSchedulable;
+                if (!r.sound)
+                    ++s.violations;
+                if (r.rtaSchedulable && r.simRan && r.simOk &&
+                    r.misses == 0 && r.simMaxNorm > 0.0) {
+                    pessimism += r.rtaMaxNorm / r.simMaxNorm;
+                    ++pessimismPoints;
+                }
+            }
+            if (pessimismPoints)
+                s.meanPessimism = pessimism / pessimismPoints;
+            result.soundnessViolations += s.violations;
+            result.summaries.push_back(s);
+            ++pair;
+        }
+    }
+    return result;
+}
+
+void
+writeSchedJsonl(std::ostream &os, const SchedCampaignSpec &spec,
+                const SchedCampaignResult &result)
+{
+    os << "{\"schema\":" << kSchedSchemaVersion
+       << ",\"bench\":\"sched\",\"seed\":" << spec.seed << ",\"cores\":[";
+    for (size_t i = 0; i < spec.cores.size(); ++i)
+        os << (i ? "," : "") << '"'
+           << jsonEscape(coreKindName(spec.cores[i])) << '"';
+    os << "],\"configs\":[";
+    for (size_t i = 0; i < spec.configs.size(); ++i)
+        os << (i ? "," : "") << '"' << jsonEscape(spec.configs[i].name())
+           << '"';
+    os << "],\"util_grid\":[";
+    for (size_t i = 0; i < spec.utilGrid.size(); ++i)
+        os << (i ? "," : "") << jsonNumber(spec.utilGrid[i], "%.4f");
+    os << "],\"tasksets_per_util\":" << spec.tasksetsPerUtil
+       << ",\"tasks\":" << spec.taskset.tasks
+       << ",\"period_min_ticks\":" << spec.taskset.periodMinTicks
+       << ",\"period_max_ticks\":" << spec.taskset.periodMaxTicks
+       << ",\"phase_ticks\":" << spec.lower.phaseTicks
+       << ",\"horizon_ticks\":" << spec.lower.horizonTicks
+       << ",\"timer_period\":" << spec.lower.timerPeriodCycles
+       << ",\"margin\":" << jsonNumber(spec.margin, "%.4f")
+       << ",\"simulate\":" << (spec.simulate ? "true" : "false")
+       << ",\"overheads\":[";
+    for (size_t i = 0; i < result.summaries.size(); ++i) {
+        const SchedConfigSummary &s = result.summaries[i];
+        const OverheadMeasurement &m = s.overheads;
+        os << (i ? "," : "") << "{\"core\":\""
+           << jsonEscape(coreKindName(s.core)) << "\",\"config\":\""
+           << jsonEscape(s.config) << "\",\"switch_cost\":"
+           << jsonNumber(m.rta.switchCost, "%.3f") << ",\"tick_cost\":"
+           << jsonNumber(m.rta.tickCost, "%.3f")
+           << ",\"meas_switch_max\":"
+           << jsonNumber(m.measSwitchMax, "%.1f") << ",\"meas_tick_max\":"
+           << jsonNumber(m.measTickMax, "%.1f") << ",\"meas_entry_max\":"
+           << jsonNumber(m.measEntryMax, "%.1f") << ",\"has_wcet\":"
+           << (m.hasWcet ? "true" : "false") << ",\"wcet\":"
+           << jsonNumber(m.wcetCycles, "%.1f") << ",\"cycles_per_iter\":"
+           << jsonNumber(m.busy.cyclesPerIter, "%.4f")
+           << ",\"per_job_overhead\":"
+           << jsonNumber(m.busy.perJobOverheadCycles, "%.3f") << "}";
+    }
+    os << "]}\n";
+
+    for (const SchedPointResult &r : result.points) {
+        os << "{\"core\":\"" << jsonEscape(coreKindName(r.core))
+           << "\",\"config\":\"" << jsonEscape(r.config)
+           << "\",\"util_index\":" << r.utilIndex
+           << ",\"taskset_index\":" << r.tasksetIndex << ",\"util\":"
+           << jsonNumber(r.util, "%.4f") << ",\"taskset_seed\":"
+           << r.tasksetSeed << ",\"rta_schedulable\":"
+           << (r.rtaSchedulable ? "true" : "false") << ",\"rta_max_norm\":"
+           << jsonNumber(r.rtaMaxNorm, "%.4f") << ",\"sim_ran\":"
+           << (r.simRan ? "true" : "false") << ",\"sim_ok\":"
+           << (r.simOk ? "true" : "false") << ",\"jobs_expected\":"
+           << r.jobsExpected << ",\"jobs_done\":" << r.jobsDone
+           << ",\"misses\":" << r.misses << ",\"sim_max_norm\":"
+           << jsonNumber(r.simMaxNorm, "%.4f") << ",\"sound\":"
+           << (r.sound ? "true" : "false") << ",\"status\":\""
+           << jsonEscape(r.status) << "\"}\n";
+    }
+}
+
+} // namespace rtu

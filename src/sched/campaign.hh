@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Schedulability campaign: measured overheads -> RTA verdicts ->
+ * simulated deadline validation, over a (core x config x utilization
+ * x taskset) grid.
+ *
+ * For every (core, configuration) the campaign first *measures* the
+ * RTA overhead terms — no constants:
+ *
+ *   S      = margin * max switch-episode latency (irq-assert -> mret,
+ *            from trace phases of probe runs incl. a lowered taskset);
+ *            on CV32E40P additionally raised to the static ISR WCET
+ *            bound (the lint-verified analyzer) plus margin * the
+ *            measured worst interrupt-entry latency,
+ *   C_clk  = margin * max tick-only episode latency (timer episodes
+ *            that switched no task),
+ *
+ * then solves the RTA recurrence per taskset with per-job costs from
+ * the busy calibration (effective, not nominal, so the bound covers
+ * what actually runs), and finally replays each taskset on the
+ * simulator counting deadline misses. Soundness invariant checked
+ * per point: RTA-schedulable implies a clean run with zero misses;
+ * the pessimism of the analysis is quantified on points where both
+ * sides are schedulable.
+ *
+ * Determinism: overheads and calibrations are computed once per
+ * (core, config) up front; the point grid fans out through
+ * SweepRunner::forEachIndex into index-addressed slots, so JSONL
+ * output is byte-identical at any thread count.
+ */
+
+#ifndef RTU_SCHED_CAMPAIGN_HH
+#define RTU_SCHED_CAMPAIGN_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "sched/lower.hh"
+#include "sched/rta.hh"
+#include "sched/taskset.hh"
+
+namespace rtu {
+
+/** Campaign grid and analysis knobs. */
+struct SchedCampaignSpec
+{
+    std::vector<CoreKind> cores = {CoreKind::kCv32e40p};
+    std::vector<RtosUnitConfig> configs;
+    std::vector<double> utilGrid = {0.4, 0.5, 0.6, 0.7, 0.8, 0.9};
+    unsigned tasksetsPerUtil = 12;
+    std::uint64_t seed = 1;
+    TasksetParams taskset;
+    LowerParams lower;
+    /**
+     * Safety multiplier on measured overheads: probe runs cannot
+     * visit every microarchitectural state (cache residency, in-
+     * flight divides) a taskset run will, so measured maxima are
+     * scaled before entering the recurrence. The static WCET bound
+     * needs no margin and is used unscaled.
+     */
+    double margin = 1.25;
+    bool simulate = true;  ///< false: RTA only (no validation runs)
+    unsigned threads = 1;
+};
+
+/** Measured overhead terms plus their provenance, per (core, config). */
+struct OverheadMeasurement
+{
+    RtaOverheads rta;          ///< what the solver consumes
+    BusyCalibration busy;      ///< per-job cost model
+    double measSwitchMax = 0;  ///< raw max switch episode latency
+    double measTickMax = 0;    ///< raw max tick-only episode latency
+    double measEntryMax = 0;   ///< raw max irq-assert -> trap-taken
+    bool hasWcet = false;
+    double wcetCycles = 0;     ///< static ISR bound (CV32E40P)
+};
+
+/**
+ * Probe one (core, configuration): trace-phase measurement runs over
+ * a lowered probe taskset plus two standard workloads, the busy
+ * calibration, and (CV32E40P) the static WCET bound of the actual
+ * sched-kernel ISR. Deterministic in its arguments.
+ */
+OverheadMeasurement measureOverheads(CoreKind core,
+                                     const RtosUnitConfig &unit,
+                                     const SchedCampaignSpec &spec);
+
+/** One (core, config, util, taskset) grid point. */
+struct SchedPointResult
+{
+    CoreKind core = CoreKind::kCv32e40p;
+    std::string config;
+    unsigned utilIndex = 0;
+    unsigned tasksetIndex = 0;
+    double util = 0.0;           ///< requested total utilization
+    std::uint64_t tasksetSeed = 0;
+    bool rtaSchedulable = false;
+    double rtaMaxNorm = 0.0;     ///< max_i R_i / D_i
+    bool simRan = false;
+    bool simOk = false;          ///< run exited cleanly
+    unsigned jobsExpected = 0;
+    unsigned jobsDone = 0;
+    unsigned misses = 0;
+    double simMaxNorm = 0.0;     ///< max observed response / deadline
+    bool sound = true;           ///< RTA-schedulable => clean, no miss
+    std::string status;          ///< run status / diagnostic
+};
+
+/** Per-(core, config) rollup. */
+struct SchedConfigSummary
+{
+    CoreKind core = CoreKind::kCv32e40p;
+    std::string config;
+    OverheadMeasurement overheads;
+    unsigned points = 0;
+    unsigned rtaSchedulable = 0;
+    unsigned simSchedulable = 0;   ///< clean run, zero misses
+    unsigned violations = 0;       ///< soundness violations
+    /** Mean of rtaMaxNorm / simMaxNorm over points where both sides
+     *  are schedulable (>= 1: how pessimistic the analysis is). */
+    double meanPessimism = 0.0;
+};
+
+struct SchedCampaignResult
+{
+    std::vector<SchedPointResult> points;      ///< grid order
+    std::vector<SchedConfigSummary> summaries; ///< (core, config) order
+    unsigned soundnessViolations = 0;
+};
+
+/** Run the whole campaign (measurement serial, grid fan-out). */
+SchedCampaignResult runSchedCampaign(const SchedCampaignSpec &spec);
+
+/**
+ * Byte-stable JSONL: one schema-stamped header object carrying the
+ * campaign parameters and per-config measured overheads, then one
+ * line per grid point. Independent of --threads.
+ */
+void writeSchedJsonl(std::ostream &os, const SchedCampaignSpec &spec,
+                     const SchedCampaignResult &result);
+
+/** JSONL schema version stamped into the header line. */
+constexpr unsigned kSchedSchemaVersion = 1;
+
+} // namespace rtu
+
+#endif // RTU_SCHED_CAMPAIGN_HH

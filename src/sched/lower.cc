@@ -1,0 +1,367 @@
+#include "lower.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/logging.hh"
+#include "kernel/kernel.hh"
+
+namespace rtu {
+
+namespace {
+
+using kernel::kMaxTasks;
+
+/** Calibration shape: one task, alternating short/long busy jobs. */
+constexpr unsigned kCalJobs = 8;
+constexpr unsigned kCalShortIters = 16;
+constexpr unsigned kCalLongIters = 96;
+constexpr unsigned kCalPeriodTicks = 50;
+constexpr unsigned kCalPhaseTicks = 2;
+
+unsigned
+calIters(unsigned job)
+{
+    return (job % 2) ? kCalLongIters : kCalShortIters;
+}
+
+/** A taskset lowered onto the kernel generator. */
+class SchedWorkload : public Workload
+{
+  public:
+    SchedWorkload(Taskset ts, LowerParams p, std::vector<unsigned> iters,
+                  unsigned horizon_ticks, std::string name)
+        : ts_(std::move(ts)), p_(p), iters_(std::move(iters)),
+          horizon_(horizon_ticks), name_(std::move(name))
+    {}
+
+    WorkloadInfo
+    info() const override
+    {
+        WorkloadInfo info;
+        info.name = name_;
+        info.usesDelayUntil = true;
+        // Quiescent tail after the horizon: the last jobs (released
+        // just under the horizon) must still finish, then the losers
+        // park. Four extra max-periods is comfortably past any
+        // deadline that was met.
+        const unsigned maxT = maxPeriod();
+        info.maxCycles = static_cast<std::uint64_t>(
+                             horizon_ + 4 * maxT + 64) *
+                         p_.timerPeriodCycles;
+        return info;
+    }
+
+    void
+    addTasks(KernelBuilder &kb) const override
+    {
+        kb.a().dataWord("w_done", 0);
+        const unsigned total = static_cast<unsigned>(ts_.tasks.size());
+        for (unsigned i = 0; i < total; ++i) {
+            const SchedTask &t = ts_.tasks[i];
+            TaskSpec spec;
+            spec.name = csprintf("sched%u", i);
+            spec.priority = static_cast<Priority>(t.priority);
+            const unsigned iters = iters_[i];
+            spec.body = [this, i, t, iters, total](KernelBuilder &k) {
+                emitTaskBody(k, i, t, iters, total);
+            };
+            kb.addTask(spec);
+        }
+    }
+
+  private:
+    unsigned
+    maxPeriod() const
+    {
+        unsigned maxT = 1;
+        for (const SchedTask &t : ts_.tasks)
+            maxT = std::max(maxT, t.periodTicks);
+        return maxT;
+    }
+
+    void
+    emitTaskBody(KernelBuilder &k, unsigned i, const SchedTask &t,
+                 unsigned iters, unsigned total) const
+    {
+        Assembler &a = k.a();
+        // S0 = next absolute release tick, S1 = job index (preserved
+        // across preemption like every register).
+        a.li(S0, static_cast<SWord>(p_.phaseTicks));
+        a.li(S1, 0);
+        const std::string loop = csprintf("w_sched_loop_%u", i);
+        a.label(loop);
+        k.callDelayUntil(S0);
+        a.li(T3, static_cast<SWord>(i << 16));
+        a.or_(T3, T3, S1);
+        k.emitTraceReg(tag::kJobStart, T3);
+        k.emitBusyLoop(iters);
+        a.li(T3, static_cast<SWord>(i << 16));
+        a.or_(T3, T3, S1);
+        k.emitTraceReg(tag::kJobDone, T3);
+        a.addi(S1, S1, 1);
+        if (t.periodTicks < 2048) {
+            a.addi(S0, S0, static_cast<SWord>(t.periodTicks));
+        } else {
+            a.li(T4, static_cast<SWord>(t.periodTicks));
+            a.add(S0, S0, T4);
+        }
+        a.li(T4, static_cast<SWord>(horizon_));
+        a.blt(S0, T4, loop);
+
+        // Suite finish convention: count into w_done, the last task
+        // exits 0, the others park on a quasi-infinite delay.
+        a.csrrci(Zero, csr::kMstatus, 8);
+        a.la(T0, "w_done");
+        a.lw(T1, 0, T0);
+        a.addi(T1, T1, 1);
+        a.sw(T1, 0, T0);
+        a.csrrsi(Zero, csr::kMstatus, 8);
+        a.li(T2, static_cast<SWord>(total));
+        const std::string park = csprintf("w_sched_park_%u", i);
+        a.bne(T1, T2, park);
+        k.emitExit(0);
+        a.label(park);
+        const std::string parkloop = csprintf("w_sched_parkloop_%u", i);
+        a.label(parkloop);
+        a.li(A0, 1'000'000);
+        a.call("k_delay");
+        a.j(parkloop);
+    }
+
+    Taskset ts_;
+    LowerParams p_;
+    std::vector<unsigned> iters_;
+    unsigned horizon_;
+    std::string name_;
+};
+
+/** Single-task two-level busy probe driving calibrateBusy(). */
+class CalibrationWorkload : public Workload
+{
+  public:
+    explicit CalibrationWorkload(Word timer_period_cycles)
+        : clk_(timer_period_cycles)
+    {}
+
+    WorkloadInfo
+    info() const override
+    {
+        WorkloadInfo info;
+        info.name = "sched_calibration";
+        info.usesDelayUntil = true;
+        info.maxCycles = static_cast<std::uint64_t>(
+                             kCalPhaseTicks +
+                             kCalJobs * kCalPeriodTicks + 100) *
+                         clk_;
+        return info;
+    }
+
+    void
+    addTasks(KernelBuilder &kb) const override
+    {
+        TaskSpec spec;
+        spec.name = "cal";
+        spec.priority = 1;
+        spec.body = [](KernelBuilder &k) {
+            Assembler &a = k.a();
+            for (unsigned j = 0; j < kCalJobs; ++j) {
+                const unsigned wake =
+                    kCalPhaseTicks + j * kCalPeriodTicks;
+                a.li(S0, static_cast<SWord>(wake));
+                k.callDelayUntil(S0);
+                a.li(T3, static_cast<SWord>(j));
+                k.emitTraceReg(tag::kJobStart, T3);
+                k.emitBusyLoop(calIters(j));
+                a.li(T3, static_cast<SWord>(j));
+                k.emitTraceReg(tag::kJobDone, T3);
+            }
+            k.emitExit(0);
+        };
+        kb.addTask(spec);
+    }
+
+  private:
+    Word clk_;
+};
+
+} // namespace
+
+unsigned
+horizonTicksFor(const Taskset &ts, const LowerParams &p)
+{
+    if (p.horizonTicks)
+        return p.horizonTicks;
+    unsigned maxT = 1;
+    for (const SchedTask &t : ts.tasks)
+        maxT = std::max(maxT, t.periodTicks);
+    return p.phaseTicks + 4 * maxT;
+}
+
+unsigned
+expectedJobs(const SchedTask &t, const LowerParams &p,
+             unsigned horizon_ticks)
+{
+    if (horizon_ticks <= p.phaseTicks)
+        return 0;
+    // Releases at phase, phase+T, ... strictly below the horizon.
+    return (horizon_ticks - p.phaseTicks + t.periodTicks - 1) /
+           t.periodTicks;
+}
+
+BusyCalibration
+calibrateBusy(CoreKind core, const RtosUnitConfig &unit,
+              Word timer_period_cycles)
+{
+    const CalibrationWorkload w(timer_period_cycles);
+    RunOptions opts;
+    opts.timerPeriodCycles = timer_period_cycles;
+    std::vector<GuestEvent> events;
+    opts.postRun = [&events](Simulation &sim) {
+        events = sim.hostIo().events();
+    };
+    const RunResult rr = runWorkload(core, unit, w, opts);
+    rtu_assert(rr.ok, "busy calibration failed on %s/%s: %s",
+               coreKindName(core), unit.name().c_str(),
+               rr.diagnostic.c_str());
+
+    std::map<unsigned, Cycle> start, done;
+    for (const GuestEvent &e : events) {
+        if (e.tag == tag::kJobStart)
+            start[e.value] = e.cycle;
+        else if (e.tag == tag::kJobDone)
+            done[e.value] = e.cycle;
+    }
+
+    double spanShortMin = 0, spanShortMax = 0, spanLongMax = 0;
+    double relLatMax = 0;
+    bool haveShort = false, haveLong = false;
+    for (unsigned j = 0; j < kCalJobs; ++j) {
+        const auto s = start.find(j);
+        const auto d = done.find(j);
+        rtu_assert(s != start.end() && d != done.end(),
+                   "calibration job %u left no trace events", j);
+        const double span =
+            static_cast<double>(d->second) - static_cast<double>(s->second);
+        const double release =
+            static_cast<double>(kCalPhaseTicks + j * kCalPeriodTicks) *
+            timer_period_cycles;
+        relLatMax = std::max(
+            relLatMax, static_cast<double>(s->second) - release);
+        if (calIters(j) == kCalShortIters) {
+            spanShortMin = haveShort ? std::min(spanShortMin, span) : span;
+            spanShortMax = std::max(spanShortMax, span);
+            haveShort = true;
+        } else {
+            spanLongMax = std::max(spanLongMax, span);
+            haveLong = true;
+        }
+    }
+    rtu_assert(haveShort && haveLong, "calibration saw no jobs");
+
+    BusyCalibration cal;
+    const double dIters = kCalLongIters - kCalShortIters;
+    // Worst long span against best short span: an upper bound on the
+    // marginal cost (tick ISRs landing inside a span only inflate it,
+    // which keeps the RTA side conservative).
+    cal.cyclesPerIter = (spanLongMax - spanShortMin) / dIters;
+    if (cal.cyclesPerIter <= 0.0)
+        cal.cyclesPerIter = spanLongMax / kCalLongIters;
+    const double base =
+        std::max(0.0, spanShortMax - kCalShortIters * cal.cyclesPerIter);
+    cal.perJobOverheadCycles = relLatMax + base;
+    return cal;
+}
+
+unsigned
+busyItersFor(const BusyCalibration &cal, double exec_cycles)
+{
+    const double iters =
+        (exec_cycles - cal.perJobOverheadCycles) / cal.cyclesPerIter;
+    if (iters < 1.0)
+        return 1;
+    return static_cast<unsigned>(std::lround(iters));
+}
+
+double
+effectiveExecCycles(const BusyCalibration &cal, unsigned iters)
+{
+    return cal.perJobOverheadCycles + iters * cal.cyclesPerIter;
+}
+
+std::unique_ptr<Workload>
+lowerTaskset(const Taskset &ts, const LowerParams &p,
+             const BusyCalibration &cal, const std::string &name)
+{
+    rtu_assert(!ts.tasks.empty() && ts.tasks.size() < kernel::kMaxTasks,
+               "taskset with %zu tasks cannot be lowered",
+               ts.tasks.size());
+    const unsigned horizon = horizonTicksFor(ts, p);
+    std::vector<unsigned> iters;
+    for (const SchedTask &t : ts.tasks) {
+        const double nominal =
+            t.util * t.periodTicks * p.timerPeriodCycles;
+        iters.push_back(busyItersFor(cal, nominal));
+    }
+    for (const SchedTask &t : ts.tasks) {
+        const unsigned jobs = expectedJobs(t, p, horizon);
+        rtu_assert(jobs < (1u << 16),
+                   "job index would overflow the 16-bit trace field");
+    }
+    return std::make_unique<SchedWorkload>(ts, p, std::move(iters),
+                                           horizon, name);
+}
+
+DeadlineReport
+checkDeadlines(const std::vector<GuestEvent> &events, const Taskset &ts,
+               const LowerParams &p, unsigned horizon_ticks)
+{
+    const double clk = static_cast<double>(p.timerPeriodCycles);
+    // done[(task << 16) | job] = completion cycle (first write wins;
+    // a job completes once).
+    std::map<Word, Cycle> done;
+    for (const GuestEvent &e : events) {
+        if (e.tag != tag::kJobDone)
+            continue;
+        done.emplace(e.value, e.cycle);
+    }
+
+    DeadlineReport report;
+    for (unsigned i = 0; i < ts.tasks.size(); ++i) {
+        const SchedTask &t = ts.tasks[i];
+        TaskObservation obs;
+        obs.jobsExpected = expectedJobs(t, p, horizon_ticks);
+        const double deadlineCycles = t.deadlineTicks * clk;
+        for (unsigned j = 0; j < obs.jobsExpected; ++j) {
+            const double release =
+                (p.phaseTicks + static_cast<double>(j) * t.periodTicks) *
+                clk;
+            const auto it = done.find((i << 16) | j);
+            if (it == done.end()) {
+                // Never completed inside the run: count it as missed.
+                ++obs.misses;
+                obs.maxResponseCycles =
+                    std::max(obs.maxResponseCycles, deadlineCycles + 1);
+                continue;
+            }
+            ++obs.jobsDone;
+            const double resp =
+                static_cast<double>(it->second) - release;
+            obs.maxResponseCycles = std::max(obs.maxResponseCycles, resp);
+            if (resp > deadlineCycles)
+                ++obs.misses;
+        }
+        report.jobsExpected += obs.jobsExpected;
+        report.jobsDone += obs.jobsDone;
+        report.misses += obs.misses;
+        if (deadlineCycles > 0.0)
+            report.maxNormResponse =
+                std::max(report.maxNormResponse,
+                         obs.maxResponseCycles / deadlineCycles);
+        report.tasks.push_back(obs);
+    }
+    return report;
+}
+
+} // namespace rtu

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Lowering: turn a synthetic taskset into a runnable Workload on the
+ * generated microFreeRTOS kernel, and check the resulting guest
+ * trace for deadline misses.
+ *
+ * Each task becomes a periodic loop: k_delay_until(absolute tick),
+ * kJobStart trace, calibrated busy loop, kJobDone trace, next
+ * release. Releases share a common phase (a synchronous critical
+ * instant, the worst case fixed-priority RTA assumes), and the run
+ * ends after a fixed horizon via the suite's w_done convention. Busy
+ * iterations are derived from a per-(core, config) calibration run so
+ * a nominal WCET in cycles maps onto real guest work; the effective
+ * (calibrated) cost is what the RTA solver is fed, so the analysis
+ * bounds what actually executes.
+ *
+ * Deadline checking is host-side: job completion events carry
+ * (task << 16 | job), releases are at known absolute ticks (boot
+ * programs the first compare to one period, so tick t fires at
+ * t * timerPeriodCycles), and a miss is a completion after
+ * (release + deadline) * cycles-per-tick — or a job that never
+ * completed inside the run.
+ */
+
+#ifndef RTU_SCHED_LOWER_HH
+#define RTU_SCHED_LOWER_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "sched/taskset.hh"
+#include "sim/hostio.hh"
+#include "workloads/workloads.hh"
+
+namespace rtu {
+
+/** Shared lowering knobs (time unit: timer ticks). */
+struct LowerParams
+{
+    unsigned phaseTicks = 2;    ///< common first release (critical instant)
+    unsigned horizonTicks = 0;  ///< 0 = auto (phase + 4 * max period)
+    Word timerPeriodCycles = 1000;
+};
+
+/** Busy-loop cost model measured on one (core, configuration). */
+struct BusyCalibration
+{
+    double cyclesPerIter = 8.0;         ///< marginal loop-iteration cost
+    double perJobOverheadCycles = 0.0;  ///< release-to-start + scaffold
+};
+
+/** Release horizon for @p ts under @p p (auto rule when 0). */
+unsigned horizonTicksFor(const Taskset &ts, const LowerParams &p);
+
+/** Jobs task @p t releases before the horizon. */
+unsigned expectedJobs(const SchedTask &t, const LowerParams &p,
+                      unsigned horizon_ticks);
+
+/**
+ * Measure the busy-loop cost model: a single periodic task runs jobs
+ * with two known iteration counts; spans between its kJobStart and
+ * kJobDone events give the marginal per-iteration cost, the
+ * release-to-start gap gives the per-job overhead. Deterministic.
+ */
+BusyCalibration calibrateBusy(CoreKind core, const RtosUnitConfig &unit,
+                              Word timer_period_cycles);
+
+/** Busy iterations approximating @p exec_cycles of work (min 1). */
+unsigned busyItersFor(const BusyCalibration &cal, double exec_cycles);
+
+/** Upper-bound cost of a job running @p iters iterations — this is
+ *  the C_i handed to the RTA solver, never the nominal value. */
+double effectiveExecCycles(const BusyCalibration &cal, unsigned iters);
+
+/** Build the runnable workload for @p ts (name appears in traces). */
+std::unique_ptr<Workload> lowerTaskset(const Taskset &ts,
+                                       const LowerParams &p,
+                                       const BusyCalibration &cal,
+                                       const std::string &name);
+
+/** Per-task outcome of a validation run. */
+struct TaskObservation
+{
+    unsigned jobsExpected = 0;
+    unsigned jobsDone = 0;
+    unsigned misses = 0;
+    double maxResponseCycles = 0.0;
+};
+
+struct DeadlineReport
+{
+    unsigned jobsExpected = 0;
+    unsigned jobsDone = 0;
+    unsigned misses = 0;
+    /** max over jobs of response / deadline (1.0 = exactly on time). */
+    double maxNormResponse = 0.0;
+    std::vector<TaskObservation> tasks;
+};
+
+/** Score a guest event stream against the taskset's deadlines. */
+DeadlineReport checkDeadlines(const std::vector<GuestEvent> &events,
+                              const Taskset &ts, const LowerParams &p,
+                              unsigned horizon_ticks);
+
+} // namespace rtu
+
+#endif // RTU_SCHED_LOWER_HH

@@ -1,0 +1,117 @@
+#include "rta.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace rtu {
+
+namespace {
+
+/**
+ * ceil(x / y) robust against the floating-point representation of an
+ * exactly divisible pair landing a hair above the integer: nudge by
+ * one part in 2^40 before ceiling, far below any meaningful cycle
+ * resolution at these magnitudes.
+ */
+double
+ceilDiv(double x, double y)
+{
+    const double q = x / y;
+    return std::ceil(q * (1.0 - 0x1.0p-40));
+}
+
+} // namespace
+
+RtaResult
+responseTimeAnalysis(const std::vector<RtaTask> &tasks,
+                     const RtaOverheads &oh)
+{
+    RtaResult result;
+    result.schedulable = true;
+    const bool tick = oh.tickCost > 0.0 && oh.tickPeriodCycles > 0.0;
+    for (size_t i = 0; i < tasks.size(); ++i) {
+        const double self = tasks[i].execCycles + 2.0 * oh.switchCost;
+        double r = self;
+        RtaTaskResult tr;
+        // The recurrence is monotone non-decreasing from R = C + 2S,
+        // so it either reaches a fixpoint or crosses the deadline;
+        // the iteration cap only guards degenerate (zero-period)
+        // input, which the assertions below exclude.
+        for (unsigned iter = 0; iter < 100000; ++iter) {
+            double next = self;
+            for (size_t j = 0; j < i; ++j) {
+                rtu_assert(tasks[j].periodCycles > 0.0,
+                           "RTA task %zu has no period", j);
+                next += ceilDiv(r, tasks[j].periodCycles) *
+                        (tasks[j].execCycles + 2.0 * oh.switchCost);
+            }
+            if (tick)
+                next += ceilDiv(r, oh.tickPeriodCycles) * oh.tickCost;
+            if (next > tasks[i].deadlineCycles) {
+                r = next;
+                break;
+            }
+            if (next <= r)
+                break;
+            r = next;
+        }
+        tr.responseCycles = r;
+        tr.schedulable = r <= tasks[i].deadlineCycles;
+        result.schedulable = result.schedulable && tr.schedulable;
+        result.tasks.push_back(tr);
+    }
+    return result;
+}
+
+std::vector<RtaTask>
+rtaTasksFromTaskset(const Taskset &ts, double cycles_per_tick)
+{
+    std::vector<RtaTask> tasks;
+    tasks.reserve(ts.tasks.size());
+    for (const SchedTask &t : ts.tasks) {
+        RtaTask rt;
+        rt.periodCycles = t.periodTicks * cycles_per_tick;
+        rt.deadlineCycles = t.deadlineTicks * cycles_per_tick;
+        rt.execCycles = t.util * rt.periodCycles;
+        tasks.push_back(rt);
+    }
+    return tasks;
+}
+
+double
+breakdownUtilization(const Taskset &shape, const RtaOverheads &oh,
+                     double cycles_per_tick, double tolerance)
+{
+    const double shapeUtil = shape.totalUtil();
+    rtu_assert(shapeUtil > 0.0, "breakdown of a zero-utilization shape");
+    const std::vector<RtaTask> nominal =
+        rtaTasksFromTaskset(shape, cycles_per_tick);
+
+    const auto schedulableAt = [&](double scale) {
+        std::vector<RtaTask> scaled = nominal;
+        for (RtaTask &t : scaled)
+            t.execCycles *= scale;
+        return responseTimeAnalysis(scaled, oh).schedulable;
+    };
+
+    // Scale is relative to the shape's own total; the answer is in
+    // absolute utilization. Cap the probe at full load of the shape
+    // normalized to 1.0 total utilization.
+    const double maxScale = 1.0 / shapeUtil;
+    if (!schedulableAt(tolerance))
+        return 0.0;
+    double lo = tolerance, hi = maxScale;
+    if (schedulableAt(maxScale))
+        return maxScale * shapeUtil;
+    while ((hi - lo) * shapeUtil > tolerance) {
+        const double mid = 0.5 * (lo + hi);
+        if (schedulableAt(mid))
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return lo * shapeUtil;
+}
+
+} // namespace rtu

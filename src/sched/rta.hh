@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Fixed-priority preemptive response-time analysis with explicit
+ * context-switch and tick-interrupt overhead accounting.
+ *
+ * The classic recurrence (Joseph & Pandya; Audsley et al.) extended
+ * with the overhead model of Burns & Wellings' tick-driven analysis:
+ *
+ *   R_i = C_i + 2S + sum_{j in hp(i)} ceil(R_i / T_j) (C_j + 2S)
+ *             + ceil(R_i / P_clk) C_clk
+ *
+ * where S is one context-switch episode (irq-assert to mret), charged
+ * twice per job (switch in + switch away), C_clk is one tick-only
+ * timer ISR episode and P_clk the timer period. The overhead terms
+ * are *not* constants: callers feed them from measured per-config
+ * trace phases and the static WCET bound (see campaign.hh), which is
+ * the whole point of the co-analysis — a faster switch path directly
+ * widens the schedulable region. All quantities are in cycles.
+ */
+
+#ifndef RTU_SCHED_RTA_HH
+#define RTU_SCHED_RTA_HH
+
+#include <vector>
+
+#include "sched/taskset.hh"
+
+namespace rtu {
+
+/** Overhead terms of the recurrence, in cycles. */
+struct RtaOverheads
+{
+    double switchCost = 0.0;       ///< S: one switch episode
+    double tickCost = 0.0;         ///< C_clk: one tick-only ISR episode
+    double tickPeriodCycles = 0.0; ///< P_clk; <= 0 disables the term
+};
+
+/** One task as the solver sees it (cycles, priority order implied). */
+struct RtaTask
+{
+    double execCycles = 0.0;      ///< effective WCET incl. job overhead
+    double periodCycles = 0.0;
+    double deadlineCycles = 0.0;
+};
+
+struct RtaTaskResult
+{
+    bool schedulable = false;
+    double responseCycles = 0.0;  ///< fixpoint; > deadline when not
+};
+
+struct RtaResult
+{
+    bool schedulable = false;     ///< every task converged within D
+    std::vector<RtaTaskResult> tasks;
+};
+
+/**
+ * Solve the recurrence for @p tasks, which must be sorted highest
+ * priority first. Iteration stops at the fixpoint or as soon as R
+ * exceeds the deadline (the recurrence is monotone).
+ */
+RtaResult responseTimeAnalysis(const std::vector<RtaTask> &tasks,
+                               const RtaOverheads &overheads);
+
+/** Convert a taskset (ticks) into solver tasks using nominal WCETs
+ *  C_i = util_i * T_i, with @p cycles_per_tick cycles per tick. */
+std::vector<RtaTask> rtaTasksFromTaskset(const Taskset &ts,
+                                         double cycles_per_tick);
+
+/**
+ * Breakdown utilization: the largest total utilization U such that
+ * the taskset *shape* (per-task utilization shares and periods),
+ * scaled to total U, stays RTA-schedulable under @p overheads.
+ * Binary search over the exec-time scale factor; monotone because
+ * response times are monotone in every C_i. Returns 0 when even an
+ * infinitesimal load misses (overheads alone saturate a deadline).
+ */
+double breakdownUtilization(const Taskset &shape,
+                            const RtaOverheads &overheads,
+                            double cycles_per_tick,
+                            double tolerance = 1e-3);
+
+} // namespace rtu
+
+#endif // RTU_SCHED_RTA_HH

@@ -1,0 +1,108 @@
+#include "taskset.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "kernel/layout.hh"
+
+namespace rtu {
+
+double
+Taskset::totalUtil() const
+{
+    double sum = 0.0;
+    for (const SchedTask &t : tasks)
+        sum += t.util;
+    return sum;
+}
+
+std::vector<double>
+uunifastDiscard(SplitMix64 &rng, unsigned n, double total)
+{
+    rtu_assert(n > 0, "uunifastDiscard needs at least one task");
+    rtu_assert(total > 0.0 && total <= static_cast<double>(n),
+               "total utilization %f infeasible for %u tasks", total, n);
+    std::vector<double> utils;
+    for (;;) {
+        utils.clear();
+        double sum = total;
+        bool ok = true;
+        for (unsigned i = 1; i < n; ++i) {
+            const double next =
+                sum * std::pow(rng.unit(),
+                               1.0 / static_cast<double>(n - i));
+            const double u = sum - next;
+            if (u > 1.0) {
+                ok = false;
+                break;
+            }
+            utils.push_back(u);
+            sum = next;
+        }
+        if (ok && sum <= 1.0) {
+            utils.push_back(sum);
+            return utils;
+        }
+    }
+}
+
+std::uint64_t
+tasksetSeed(std::uint64_t campaign_seed, unsigned util_index,
+            unsigned taskset_index)
+{
+    // One draw per coordinate keeps neighbouring tasksets decorrelated
+    // even for small campaign seeds.
+    SplitMix64 mix(campaign_seed ^ 0x5c3ed5ab111e0d01ull);
+    const std::uint64_t a = mix.next();
+    const std::uint64_t b = mix.next();
+    return a ^ (b * (2 * static_cast<std::uint64_t>(util_index) + 1)) ^
+           ((static_cast<std::uint64_t>(taskset_index) + 1) *
+            0x9e3779b97f4a7c15ull);
+}
+
+Taskset
+makeTaskset(std::uint64_t seed, const TasksetParams &params)
+{
+    rtu_assert(params.tasks >= 1 && params.tasks < kernel::kMaxTasks,
+               "taskset size %u outside [1, %u] (idle task + distinct "
+               "priorities 1..%u)",
+               params.tasks, kernel::kMaxTasks - 1,
+               kernel::kMaxTasks - 1);
+    rtu_assert(params.periodMinTicks >= 2 &&
+                   params.periodMaxTicks >= params.periodMinTicks,
+               "period range [%u, %u] ticks is invalid",
+               params.periodMinTicks, params.periodMaxTicks);
+
+    SplitMix64 rng(seed);
+    const std::vector<double> utils =
+        uunifastDiscard(rng, params.tasks, params.totalUtil);
+
+    Taskset ts;
+    const double lnMin = std::log(static_cast<double>(params.periodMinTicks));
+    const double lnMax = std::log(static_cast<double>(params.periodMaxTicks));
+    for (unsigned i = 0; i < params.tasks; ++i) {
+        SchedTask t;
+        t.util = utils[i];
+        const double lnT = lnMin + rng.unit() * (lnMax - lnMin);
+        t.periodTicks = static_cast<unsigned>(std::lround(std::exp(lnT)));
+        t.periodTicks = std::max(params.periodMinTicks,
+                                 std::min(params.periodMaxTicks,
+                                          t.periodTicks));
+        t.deadlineTicks = t.periodTicks;
+        ts.tasks.push_back(t);
+    }
+
+    // Rate-monotonic priorities: sort by period ascending (stable, so
+    // ties resolve by draw order) and hand out distinct priorities
+    // 7, 6, ... downwards; the result is highest-priority-first.
+    std::stable_sort(ts.tasks.begin(), ts.tasks.end(),
+                     [](const SchedTask &a, const SchedTask &b) {
+                         return a.periodTicks < b.periodTicks;
+                     });
+    for (unsigned i = 0; i < ts.tasks.size(); ++i)
+        ts.tasks[i].priority = kernel::kMaxTasks - 1 - i;
+    return ts;
+}
+
+} // namespace rtu

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Deterministic synthetic periodic-taskset generator for the
+ * schedulability co-analysis subsystem.
+ *
+ * Utilizations come from UUniFast-Discard (unbiased over the
+ * admissible simplex, per-task util capped at 1), periods are
+ * log-uniform over [periodMinTicks, periodMaxTicks] in timer ticks,
+ * deadlines are implicit (D = T), and priorities are rate-monotonic
+ * (shortest period gets the numerically highest kernel priority —
+ * the kernel schedules higher numbers first). All randomness flows
+ * through the shared SplitMix64, seeded per taskset from (campaign
+ * seed, util index, taskset index) and never from the configuration
+ * under test — the *same* taskset is compared across designs, and a
+ * campaign is byte-reproducible at any thread count.
+ */
+
+#ifndef RTU_SCHED_TASKSET_HH
+#define RTU_SCHED_TASKSET_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace rtu {
+
+/** One synthetic periodic task (time unit: timer ticks). */
+struct SchedTask
+{
+    double util = 0.0;           ///< fraction of one core
+    unsigned periodTicks = 0;
+    unsigned deadlineTicks = 0;  ///< implicit deadline: D = T
+    unsigned priority = 1;       ///< kernel priority 1..7, higher wins
+};
+
+/** A taskset, sorted highest priority first (RTA convention). */
+struct Taskset
+{
+    std::vector<SchedTask> tasks;
+
+    double totalUtil() const;
+};
+
+/** Generator knobs (tasks <= 7: kernel priorities 1..7 are distinct). */
+struct TasksetParams
+{
+    unsigned tasks = 4;
+    double totalUtil = 0.6;
+    unsigned periodMinTicks = 10;
+    unsigned periodMaxTicks = 100;
+};
+
+/**
+ * UUniFast-Discard: @p n utilizations summing to @p total, each in
+ * (0, 1]. Vectors with any element above 1 are discarded and redrawn
+ * (only possible when total > 1), keeping the distribution uniform
+ * over the admissible region.
+ */
+std::vector<double> uunifastDiscard(SplitMix64 &rng, unsigned n,
+                                    double total);
+
+/** Per-taskset seed: mixes campaign seed with the grid coordinates. */
+std::uint64_t tasksetSeed(std::uint64_t campaign_seed, unsigned util_index,
+                          unsigned taskset_index);
+
+/** Generate one taskset. Deterministic in (seed, params). */
+Taskset makeTaskset(std::uint64_t seed, const TasksetParams &params);
+
+} // namespace rtu
+
+#endif // RTU_SCHED_TASKSET_HH

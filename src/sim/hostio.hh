@@ -76,6 +76,8 @@ constexpr std::uint8_t kSwitch = 6;      ///< value = (from<<8)|to
 constexpr std::uint8_t kSemGive = 7;
 constexpr std::uint8_t kSemTake = 8;
 constexpr std::uint8_t kCheck = 9;       ///< value = checksum fragment
+constexpr std::uint8_t kJobStart = 10;   ///< value = (task<<16)|job
+constexpr std::uint8_t kJobDone = 11;    ///< value = (task<<16)|job
 } // namespace tag
 
 } // namespace rtu

@@ -6,25 +6,10 @@
 
 #include "common/json.hh"
 #include "common/logging.hh"
+#include "common/rng.hh"
 #include "workloads/workloads.hh"
 
 namespace rtu {
-
-namespace {
-
-/** FNV-1a, the deterministic per-point seed function. */
-std::uint64_t
-fnv1a(const std::string &s)
-{
-    std::uint64_t h = 0xcbf29ce484222325ull;
-    for (unsigned char c : s) {
-        h ^= c;
-        h *= 0x100000001b3ull;
-    }
-    return h;
-}
-
-} // namespace
 
 std::string
 SweepPoint::key() const

@@ -325,7 +325,11 @@ makeWorkload(const std::string &name, unsigned iterations)
         return makePriorityPreempt(iterations);
     if (name == "ext_interrupt")
         return makeExtInterrupt(iterations);
-    fatal("unknown workload '%s'", name.c_str());
+    std::string known;
+    for (const std::string &w : standardWorkloadNames())
+        known += (known.empty() ? "" : ", ") + w;
+    fatal("unknown workload '%s' (available: %s)", name.c_str(),
+          known.c_str());
 }
 
 } // namespace rtu

@@ -28,6 +28,12 @@ struct WorkloadInfo
 {
     std::string name;
     bool usesExternalIrq = false;
+    /**
+     * Tasks call k_delay_until (absolute-tick sleep); the kernel
+     * generator must emit it and keep k_tick_count live even on
+     * hardware-scheduler configurations (see KernelParams).
+     */
+    bool usesDelayUntil = false;
     std::vector<Cycle> extIrqSchedule;
     std::uint64_t maxCycles = 20'000'000;
 };

@@ -1,0 +1,303 @@
+/** Schedulability co-analysis tests: UUniFast-Discard utilization-sum
+ *  property, log-uniform period bounds, taskset seed determinism, RTA
+ *  golden cases (classic Liu-Layland boundary sets), overhead
+ *  monotonicity, breakdown utilization, taskset lowering with zero
+ *  deadline misses on both software- and hardware-scheduler
+ *  configurations, campaign thread-count byte-identity, and the
+ *  makeWorkload unknown-name diagnostic. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "common/rng.hh"
+#include "harness/experiment.hh"
+#include "sched/campaign.hh"
+#include "sched/lower.hh"
+#include "sched/rta.hh"
+#include "sched/taskset.hh"
+#include "sim/hostio.hh"
+#include "workloads/workloads.hh"
+
+namespace rtu {
+namespace {
+
+TEST(UUniFast, SumsToTotalAndStaysAdmissible)
+{
+    for (std::uint64_t seed : {1ull, 7ull, 99ull, 12345ull}) {
+        for (unsigned n : {1u, 2u, 4u, 7u}) {
+            for (double total : {0.3, 0.6, 0.9}) {
+                SplitMix64 rng(seed);
+                const std::vector<double> u =
+                    uunifastDiscard(rng, n, total);
+                ASSERT_EQ(u.size(), n);
+                double sum = 0.0;
+                for (double ui : u) {
+                    EXPECT_GT(ui, 0.0);
+                    EXPECT_LE(ui, 1.0);
+                    sum += ui;
+                }
+                EXPECT_NEAR(sum, total, 1e-9);
+            }
+        }
+    }
+}
+
+TEST(UUniFast, DiscardKeepsPerTaskUtilizationBelowOne)
+{
+    // total > 1 forces the discard path: a 2-task set at 1.8 total
+    // would produce u > 1 on most draws without it.
+    SplitMix64 rng(42);
+    for (unsigned round = 0; round < 50; ++round) {
+        const std::vector<double> u = uunifastDiscard(rng, 2, 1.8);
+        double sum = 0.0;
+        for (double ui : u) {
+            EXPECT_LE(ui, 1.0);
+            sum += ui;
+        }
+        EXPECT_NEAR(sum, 1.8, 1e-9);
+    }
+}
+
+TEST(TasksetGen, PeriodsStayInLogUniformBounds)
+{
+    TasksetParams p;
+    p.tasks = 7;
+    p.totalUtil = 0.7;
+    p.periodMinTicks = 10;
+    p.periodMaxTicks = 100;
+    std::set<unsigned> seen;
+    for (std::uint64_t seed = 0; seed < 64; ++seed) {
+        const Taskset ts = makeTaskset(seed, p);
+        for (const SchedTask &t : ts.tasks) {
+            EXPECT_GE(t.periodTicks, p.periodMinTicks);
+            EXPECT_LE(t.periodTicks, p.periodMaxTicks);
+            EXPECT_EQ(t.deadlineTicks, t.periodTicks);
+            seen.insert(t.periodTicks);
+        }
+    }
+    // Log-uniform over [10, 100] must populate both decades.
+    EXPECT_GT(seen.size(), 10u);
+    EXPECT_LT(*seen.begin(), 20u);
+    EXPECT_GT(*seen.rbegin(), 60u);
+}
+
+TEST(TasksetGen, RateMonotonicDistinctPriorities)
+{
+    TasksetParams p;
+    p.tasks = 5;
+    const Taskset ts = makeTaskset(17, p);
+    std::set<unsigned> prios;
+    for (size_t i = 1; i < ts.tasks.size(); ++i) {
+        EXPECT_LE(ts.tasks[i - 1].periodTicks, ts.tasks[i].periodTicks);
+        EXPECT_GT(ts.tasks[i - 1].priority, ts.tasks[i].priority);
+    }
+    for (const SchedTask &t : ts.tasks) {
+        EXPECT_GE(t.priority, 1u);
+        EXPECT_LE(t.priority, 7u);
+        prios.insert(t.priority);
+    }
+    EXPECT_EQ(prios.size(), ts.tasks.size());
+}
+
+TEST(TasksetGen, SeedDeterminismAndDecorrelation)
+{
+    TasksetParams p;
+    const Taskset a = makeTaskset(tasksetSeed(5, 2, 3), p);
+    const Taskset b = makeTaskset(tasksetSeed(5, 2, 3), p);
+    ASSERT_EQ(a.tasks.size(), b.tasks.size());
+    for (size_t i = 0; i < a.tasks.size(); ++i) {
+        EXPECT_EQ(a.tasks[i].util, b.tasks[i].util);
+        EXPECT_EQ(a.tasks[i].periodTicks, b.tasks[i].periodTicks);
+    }
+    // Neighbouring grid coordinates draw different seeds.
+    std::set<std::uint64_t> seeds;
+    for (unsigned ui = 0; ui < 4; ++ui)
+        for (unsigned ti = 0; ti < 8; ++ti)
+            seeds.insert(tasksetSeed(5, ui, ti));
+    EXPECT_EQ(seeds.size(), 32u);
+}
+
+// Classic Liu-Layland boundary set: T=(4,6,12), C=(1,2,3) converges
+// to R=(1,3,10) under zero overheads.
+TEST(Rta, GoldenLiuLaylandResponseTimes)
+{
+    const std::vector<RtaTask> tasks = {
+        {1.0, 4.0, 4.0}, {2.0, 6.0, 6.0}, {3.0, 12.0, 12.0}};
+    const RtaResult r = responseTimeAnalysis(tasks, {});
+    ASSERT_TRUE(r.schedulable);
+    EXPECT_DOUBLE_EQ(r.tasks[0].responseCycles, 1.0);
+    EXPECT_DOUBLE_EQ(r.tasks[1].responseCycles, 3.0);
+    EXPECT_DOUBLE_EQ(r.tasks[2].responseCycles, 10.0);
+}
+
+TEST(Rta, GoldenUnschedulablePair)
+{
+    // U = 1.0 but non-harmonic: the low task's recurrence crosses its
+    // deadline of 3 (fixpoint would be 3.5).
+    const std::vector<RtaTask> tasks = {{1.0, 2.0, 2.0},
+                                        {1.5, 3.0, 3.0}};
+    const RtaResult r = responseTimeAnalysis(tasks, {});
+    EXPECT_TRUE(r.tasks[0].schedulable);
+    EXPECT_FALSE(r.tasks[1].schedulable);
+    EXPECT_FALSE(r.schedulable);
+}
+
+TEST(Rta, GoldenHarmonicFullUtilization)
+{
+    // Harmonic periods are schedulable at exactly U = 1 — and any
+    // nonzero switch overhead must break that boundary case.
+    const std::vector<RtaTask> tasks = {
+        {1.0, 2.0, 2.0}, {1.0, 4.0, 4.0}, {2.0, 8.0, 8.0}};
+    const RtaResult clean = responseTimeAnalysis(tasks, {});
+    ASSERT_TRUE(clean.schedulable);
+    EXPECT_DOUBLE_EQ(clean.tasks[2].responseCycles, 8.0);
+
+    RtaOverheads oh;
+    oh.switchCost = 0.01;
+    EXPECT_FALSE(responseTimeAnalysis(tasks, oh).schedulable);
+}
+
+TEST(Rta, TickInterferenceCharged)
+{
+    // One task, C=5, D=T=10, tick ISR of 3 cycles every 4 cycles:
+    // R = 5 + 2*ceil(R/4)*... -> R0=5 -> 5+2*3=11 > 10? iterate:
+    // ceil(5/4)=2 -> 5+6=11 > D -> unschedulable. Without the tick
+    // term it is trivially schedulable.
+    const std::vector<RtaTask> tasks = {{5.0, 10.0, 10.0}};
+    RtaOverheads oh;
+    oh.tickCost = 3.0;
+    oh.tickPeriodCycles = 4.0;
+    EXPECT_FALSE(responseTimeAnalysis(tasks, oh).schedulable);
+    EXPECT_TRUE(responseTimeAnalysis(tasks, {}).schedulable);
+}
+
+TEST(Rta, BreakdownUtilizationMonotoneInOverheads)
+{
+    TasksetParams p;
+    p.tasks = 4;
+    p.totalUtil = 1.0;
+    const Taskset shape = makeTaskset(11, p);
+
+    const double clean = breakdownUtilization(shape, {}, 1000.0);
+    RtaOverheads oh;
+    oh.switchCost = 50.0;
+    oh.tickCost = 40.0;
+    oh.tickPeriodCycles = 1000.0;
+    const double loaded = breakdownUtilization(shape, oh, 1000.0);
+    EXPECT_GT(clean, 0.5);
+    EXPECT_LE(clean, 1.0 + 1e-9);
+    EXPECT_LT(loaded, clean);
+    EXPECT_GT(loaded, 0.0);
+
+    // Harmonic shape with zero overheads saturates at U = 1.
+    Taskset harmonic;
+    harmonic.tasks = {{0.5, 2, 2, 7}, {0.25, 4, 4, 6}, {0.25, 8, 8, 5}};
+    EXPECT_NEAR(breakdownUtilization(harmonic, {}, 1000.0), 1.0, 5e-3);
+}
+
+TEST(Lower, HorizonAndExpectedJobs)
+{
+    TasksetParams tp;
+    tp.tasks = 3;
+    const Taskset ts = makeTaskset(3, tp);
+    LowerParams p;
+    unsigned maxT = 0;
+    for (const SchedTask &t : ts.tasks)
+        maxT = std::max(maxT, t.periodTicks);
+    EXPECT_EQ(horizonTicksFor(ts, p), p.phaseTicks + 4 * maxT);
+
+    SchedTask t;
+    t.periodTicks = 10;
+    t.deadlineTicks = 10;
+    EXPECT_EQ(expectedJobs(t, p, 42u), 4u);  // releases at 2,12,22,32
+    EXPECT_EQ(expectedJobs(t, p, 2u), 0u);
+    EXPECT_EQ(expectedJobs(t, p, 13u), 2u);
+}
+
+TEST(Lower, CalibrationIsSaneAndDeterministic)
+{
+    const RtosUnitConfig unit = RtosUnitConfig::fromName("vanilla");
+    const BusyCalibration a =
+        calibrateBusy(CoreKind::kCv32e40p, unit, 1000);
+    const BusyCalibration b =
+        calibrateBusy(CoreKind::kCv32e40p, unit, 1000);
+    EXPECT_EQ(a.cyclesPerIter, b.cyclesPerIter);
+    EXPECT_EQ(a.perJobOverheadCycles, b.perJobOverheadCycles);
+    EXPECT_GT(a.cyclesPerIter, 0.5);
+    EXPECT_LT(a.cyclesPerIter, 100.0);
+    EXPECT_GE(a.perJobOverheadCycles, 0.0);
+    EXPECT_LT(a.perJobOverheadCycles, 20000.0);
+}
+
+// A light taskset must run to completion with zero deadline misses on
+// both scheduler families (software delay list and the hardware
+// delay list driven through the new k_delay_until path).
+TEST(Lower, LightTasksetMeetsEveryDeadline)
+{
+    TasksetParams tp;
+    tp.tasks = 3;
+    tp.totalUtil = 0.3;
+    const Taskset ts = makeTaskset(tasksetSeed(9, 0, 0), tp);
+    LowerParams p;
+
+    for (const char *cfg : {"vanilla", "SLT"}) {
+        const RtosUnitConfig unit = RtosUnitConfig::fromName(cfg);
+        const BusyCalibration cal =
+            calibrateBusy(CoreKind::kCv32e40p, unit, 1000);
+        const auto w = lowerTaskset(ts, p, cal, "sched_test");
+
+        RunOptions opts;
+        std::vector<GuestEvent> events;
+        opts.postRun = [&events](Simulation &sim) {
+            events = sim.hostIo().events();
+        };
+        const RunResult rr =
+            runWorkload(CoreKind::kCv32e40p, unit, *w, opts);
+        ASSERT_TRUE(rr.ok) << cfg << ": " << rr.diagnostic;
+
+        const DeadlineReport report =
+            checkDeadlines(events, ts, p, horizonTicksFor(ts, p));
+        EXPECT_GT(report.jobsExpected, 0u) << cfg;
+        EXPECT_EQ(report.jobsDone, report.jobsExpected) << cfg;
+        EXPECT_EQ(report.misses, 0u) << cfg;
+        EXPECT_GT(report.maxNormResponse, 0.0) << cfg;
+        EXPECT_LE(report.maxNormResponse, 1.0) << cfg;
+    }
+}
+
+TEST(Campaign, ThreadCountByteIdentity)
+{
+    SchedCampaignSpec spec;
+    spec.cores = {CoreKind::kCv32e40p};
+    spec.configs = {RtosUnitConfig::fromName("vanilla")};
+    spec.utilGrid = {0.4, 0.7};
+    spec.tasksetsPerUtil = 2;
+    spec.taskset.tasks = 3;
+    spec.seed = 21;
+
+    spec.threads = 1;
+    const SchedCampaignResult r1 = runSchedCampaign(spec);
+    spec.threads = 4;
+    const SchedCampaignResult r4 = runSchedCampaign(spec);
+
+    std::ostringstream o1, o4;
+    spec.threads = 1;
+    writeSchedJsonl(o1, spec, r1);
+    writeSchedJsonl(o4, spec, r4);
+    EXPECT_EQ(o1.str(), o4.str());
+    EXPECT_EQ(r1.points.size(), 4u);
+    EXPECT_EQ(r1.soundnessViolations, 0u);
+}
+
+TEST(Workloads, UnknownNameListsAvailableWorkloads)
+{
+    EXPECT_DEATH(makeWorkload("no_such_workload", 1),
+                 "unknown workload 'no_such_workload' \\(available: "
+                 "yield_pingpong, round_robin");
+}
+
+} // namespace
+} // namespace rtu
