@@ -2,16 +2,20 @@
  * rtu_lint: static context-integrity lint gate over the generated
  * kernel matrix.
  *
- * Runs the four analysis passes (src/analyze) — trap-path context
+ * Runs the analysis passes (src/analyze) — trap-path context
  * integrity vs. the RTOSUnit configuration, callee-saved ABI, stack
- * discipline, CFG/WCET soundness — over every generated kernel image:
+ * discipline, CFG/WCET soundness and, with --absint, the
+ * abstract-interpretation family (inferred loop bounds, worst-case
+ * stack usage, infeasible branches) — over every generated kernel
+ * image:
  * all twelve paper configurations (plus the +HS extension points)
  * crossed with the standard workload suite.
  *
  * Usage:
  *   rtu_lint [--configs S,SDLOT,...] [--workloads yield_pingpong,...]
  *            [--out diags.jsonl] [--warn-as-error] [--no-hwsync]
- *            [--quiet]  (--flag=value also accepted)
+ *            [--absint] [--pedantic-bounds] [--quiet]
+ *            (--flag=value also accepted)
  *
  * Exit status is non-zero when any error diagnostic (or, with
  * --warn-as-error, any diagnostic at all) is produced, so CI can use
@@ -65,6 +69,8 @@ main(int argc, char **argv)
     std::string outPath;
     bool warnAsError = false;
     bool noHwsync = false;
+    bool absint = false;
+    bool pedanticBounds = false;
     bool quiet = false;
 
     ArgParser parser("Static context-integrity lint gate over the "
@@ -78,6 +84,12 @@ main(int argc, char **argv)
                    "any diagnostic fails the gate");
     parser.addFlag("--no-hwsync", &noHwsync,
                    "skip the +HS extension points");
+    parser.addFlag("--absint", &absint,
+                   "run the abstract-interpretation pass family "
+                   "(inferred loop bounds, worst-case stack usage)");
+    parser.addFlag("--pedantic-bounds", &pedanticBounds,
+                   "with --absint: warn on annotations looser than "
+                   "the inferred bound");
     parser.addFlag("--quiet", &quiet, "suppress text diagnostics");
     parser.parse(argc, argv);
 
@@ -110,8 +122,11 @@ main(int argc, char **argv)
                 workloadFilter.count(point.workload) == 0)
                 return;
             ++points;
+            LintOptions lintOptions;
+            lintOptions.absint = absint;
+            lintOptions.absintPedanticBounds = pedanticBounds;
             const LintResult result =
-                lintProgram(point.program, point.unit);
+                lintProgram(point.program, point.unit, lintOptions);
             errors += result.errors();
             warnings += result.warnings();
             if (!result.clean())

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Facts exported by the abstract-interpretation engine to other
+ * layers (the WCET analyzer, the kernel generator). Kept in a
+ * standalone header so consumers do not pull in the whole engine.
+ */
+
+#ifndef RTU_ANALYZE_ABSINT_FACTS_HH
+#define RTU_ANALYZE_ABSINT_FACTS_HH
+
+#include <map>
+#include <set>
+
+#include "common/types.hh"
+
+namespace rtu {
+
+/**
+ * Derived control-flow facts over one Program.
+ *
+ * `inferredBounds` maps a loop back edge (the terminator pc of the
+ * latch block) to the maximum number of times the back edge can
+ * execute per entry of the loop — the same convention as the manual
+ * `Assembler::loopBound()` annotations, so the two are directly
+ * comparable and the WCET analyzer can budget either.
+ *
+ * `infeasibleTaken` / `infeasibleFall` hold conditional-branch pcs
+ * whose taken (resp. fall-through) edge the interval analysis proved
+ * can never execute; the WCET longest-path search excludes them.
+ */
+struct AbsintFacts
+{
+    std::map<Addr, unsigned> inferredBounds;
+    std::set<Addr> infeasibleTaken;
+    std::set<Addr> infeasibleFall;
+
+    bool empty() const
+    {
+        return inferredBounds.empty() && infeasibleTaken.empty() &&
+               infeasibleFall.empty();
+    }
+};
+
+} // namespace rtu
+
+#endif // RTU_ANALYZE_ABSINT_FACTS_HH

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Interval / value-set abstract domain for RV32 words.
+ *
+ * The domain element (AbsVal) is a signed 32-bit interval tracked in
+ * 64-bit arithmetic (so transfer functions never overflow the host
+ * type) plus an optional small exact value set. The set member is what
+ * keeps pointer analysis useful: joining two distinct TCB addresses as
+ * an interval would span every stack array allocated between them,
+ * while the set keeps them as two exact cells. Every set member is
+ * contained in the interval; when a set would grow past kMaxConsts the
+ * value degrades to its interval hull, which is always sound.
+ *
+ * Interval values additionally carry a congruence (stride): every
+ * concrete value is congruent to the interval's low bound modulo the
+ * stride (stride 1 = no information). This is a reduced product with
+ * Granger's arithmetical congruence domain, and it is what keeps a
+ * scaled array index useful after the value set degrades: the address
+ * `base + (i << 5)` stays "multiple-of-32 offsets into the array"
+ * instead of smearing over every word of it, so an abstract store
+ * through it touches one struct field per element instead of all of
+ * them. Strides propagate through add/sub (gcd), constant shifts and
+ * multiplies (scaling), join and widening (gcd with the anchor
+ * distance), and refinement (bounds re-aligned inward); every other
+ * transfer conservatively drops to stride 1.
+ *
+ * Widening jumps interval bounds to a small threshold ladder
+ * (-1/0/1/min/max) so diverging loop iterates stabilize in a handful
+ * of steps; narrowing is performed by the solver as a bounded number
+ * of plain descending re-iterations after the widened fixpoint.
+ */
+
+#ifndef RTU_ANALYZE_ABSINT_INTERVAL_HH
+#define RTU_ANALYZE_ABSINT_INTERVAL_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "asm/insn.hh"
+
+namespace rtu {
+
+/** Signed 32-bit interval; empty (bottom) iff lo > hi. */
+struct Interval
+{
+    static constexpr std::int64_t kMin = INT32_MIN;
+    static constexpr std::int64_t kMax = INT32_MAX;
+
+    std::int64_t lo = kMin;
+    std::int64_t hi = kMax;
+
+    static Interval top() { return {kMin, kMax}; }
+    static Interval bottom() { return {kMax, kMin}; }
+    static Interval constant(std::int64_t v) { return {v, v}; }
+    /** [lo, hi] clipped to the 32-bit range; empty input stays empty. */
+    static Interval range(std::int64_t lo, std::int64_t hi);
+
+    bool isBottom() const { return lo > hi; }
+    bool isTop() const { return lo <= kMin && hi >= kMax; }
+    bool isConst() const { return lo == hi; }
+    bool contains(std::int64_t v) const { return lo <= v && v <= hi; }
+    /** Number of values, or nullopt for bottom. */
+    std::optional<std::uint64_t> size() const;
+
+    bool operator==(const Interval &o) const = default;
+
+    static Interval join(const Interval &a, const Interval &b);
+    static Interval meet(const Interval &a, const Interval &b);
+    /** Classic threshold widening of @p next against @p prev. */
+    static Interval widen(const Interval &prev, const Interval &next);
+
+    // Transfer functions. All model RV32 semantics: any result bound
+    // escaping the 32-bit range means the concrete op may wrap, so the
+    // result degrades to top rather than a wrong tight range.
+    static Interval add(const Interval &a, const Interval &b);
+    static Interval sub(const Interval &a, const Interval &b);
+    static Interval mul(const Interval &a, const Interval &b);
+    static Interval div(const Interval &a, const Interval &b);
+    static Interval rem(const Interval &a, const Interval &b);
+    static Interval shiftLeft(const Interval &a, unsigned k);
+    static Interval shiftRightLogical(const Interval &a, unsigned k);
+    static Interval shiftRightArith(const Interval &a, unsigned k);
+    static Interval bitAnd(const Interval &a, const Interval &b);
+    static Interval bitOr(const Interval &a, const Interval &b);
+    static Interval bitXor(const Interval &a, const Interval &b);
+
+    /**
+     * Three-way comparison under the branch predicate @p op (one of
+     * kBeq/kBne/kBlt/kBge/kBltu/kBgeu): returns true/false when every
+     * pair in a x b decides the predicate the same way, nullopt when
+     * undecided. Bottom operands return nullopt.
+     */
+    static std::optional<bool> decide(Op op, const Interval &a,
+                                      const Interval &b);
+
+    std::string str() const;
+};
+
+/**
+ * Abstract RV32 word: interval plus optional exact value set, plus a
+ * congruence stride on the interval.
+ * Invariants: hasSet implies consts is non-empty, sorted, unique, and
+ * every member is inside iv (the set is the exact concretization, so
+ * stride is 1). Without a set, every concrete value is congruent to
+ * iv.lo modulo stride, and iv.hi is aligned to that congruence.
+ */
+struct AbsVal
+{
+    /** Largest exact set carried before degrading to the interval.
+     *  Sized so the pointer sets of a full 8-task kernel (8 TCBs,
+     *  8 ready sentinels, delay/event sentinels, null) never degrade:
+     *  a degraded store address falls back to the stack-store
+     *  assumption and would silently drop kernel-data updates. */
+    static constexpr size_t kMaxConsts = 32;
+
+    Interval iv = Interval::top();
+    bool hasSet = false;
+    std::vector<std::int64_t> consts;
+    /** Congruence: concrete values are == iv.lo (mod stride). */
+    std::int64_t stride = 1;
+
+    static AbsVal top() { return {}; }
+    static AbsVal bottom();
+    static AbsVal constant(std::int64_t v);
+    static AbsVal fromInterval(const Interval &iv);
+    static AbsVal fromSet(std::vector<std::int64_t> values);
+    /** Interval @p iv restricted to values == @p anchor (mod
+     *  @p stride); bounds are aligned inward, degenerate results
+     *  collapse to constant/bottom. */
+    static AbsVal strided(const Interval &iv, std::int64_t stride,
+                          std::int64_t anchor);
+
+    bool isBottom() const { return iv.isBottom(); }
+    bool isTop() const { return iv.isTop() && !hasSet && stride == 1; }
+    bool isConst() const { return iv.isConst(); }
+    /** The single value when isConst(). */
+    std::int64_t constValue() const { return iv.lo; }
+    /** Distance between adjacent concrete values: the stride for
+     *  intervals, the gcd of member gaps for sets, 0 for constants
+     *  (compatible with any congruence). */
+    std::int64_t valueGap() const;
+
+    bool operator==(const AbsVal &o) const;
+
+    static AbsVal join(const AbsVal &a, const AbsVal &b);
+    static AbsVal widen(const AbsVal &prev, const AbsVal &next);
+    /** Interval-meet refinement (keeps set members inside @p bounds). */
+    AbsVal refined(const Interval &bounds) const;
+    /** Copy without the set member @p v (used to strip null derefs). */
+    AbsVal without(std::int64_t v) const;
+
+    std::string str() const;
+};
+
+/**
+ * Abstract transfer for a two-operand ALU op (immediates are passed
+ * as constant AbsVals). Understands every Op the register transfer
+ * needs: add/sub/logic/shift/set-less-than/mul/div families. Ops it
+ * does not model return top.
+ */
+AbsVal absEval(Op op, const AbsVal &a, const AbsVal &b);
+
+/**
+ * Refine @p a and @p b under the assumption that branch predicate
+ * @p op evaluated to @p taken. Returns refined copies; a refinement
+ * to bottom proves the edge infeasible under the current states.
+ */
+void refineByBranch(Op op, bool taken, AbsVal &a, AbsVal &b);
+
+} // namespace rtu
+
+#endif // RTU_ANALYZE_ABSINT_INTERVAL_HH

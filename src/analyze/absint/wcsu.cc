@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Worst-case stack usage: call-graph-composed symbolic sp tracking.
+ */
+
+#include <algorithm>
+#include <tuple>
+
+#include "analyze/absint/wcsu.hh"
+#include "common/logging.hh"
+
+namespace rtu {
+
+namespace {
+
+constexpr unsigned kSpReg = 2;
+
+} // namespace
+
+WcsuAnalyzer::WcsuAnalyzer(const Cfg &cfg, const WcsuOptions &options)
+    : cfg_(cfg), program_(cfg.program()), options_(options)
+{
+    for (const auto &[name, addr] : program_.symbols) {
+        const bool task_stack =
+            name.rfind("k_stack_", 0) == 0 &&
+            name.size() >= 4 && name.substr(name.size() - 4) != "_top";
+        if (!task_stack && name != "k_isr_stack")
+            continue;
+        auto top = program_.symbols.find(name + "_top");
+        if (top == program_.symbols.end() || top->second <= addr)
+            continue;
+        regions_.push_back({name, addr, top->second});
+    }
+}
+
+void
+WcsuAnalyzer::run()
+{
+    for (const auto &[name, range] : program_.functions)
+        if (range.second > range.first && cfg_.contains(range.first))
+            depthOf(range.first);
+}
+
+unsigned
+WcsuAnalyzer::entryDepth(const std::string &fn) const
+{
+    auto it = program_.functions.find(fn);
+    if (it == program_.functions.end())
+        return 0;
+    auto sit = summaries_.find(it->second.first);
+    return sit != summaries_.end() ? sit->second.depth : 0;
+}
+
+unsigned
+WcsuAnalyzer::isrAddOn() const
+{
+    return entryDepth("k_isr") + unknownExtra_;
+}
+
+unsigned
+WcsuAnalyzer::depthOf(Addr entry)
+{
+    auto it = summaries_.find(entry);
+    if (it != summaries_.end() && it->second.done)
+        return it->second.depth;
+    if (!inProgress_.insert(entry).second) {
+        // Recursion: the depth is unbounded. Report once per cycle
+        // entry and continue with 0 so the rest of the program still
+        // gets analyzed (the error already fails the gate).
+        Diagnostic d;
+        d.severity = Severity::kError;
+        d.code = "wcsu-recursion";
+        d.pc = entry;
+        d.hasPc = true;
+        d.function = program_.functionAt(entry);
+        d.message = "recursive call cycle: worst-case stack usage "
+                    "is unbounded";
+        diags_.push_back(std::move(d));
+        return 0;
+    }
+
+    Addr begin = entry;
+    Addr end = 0;
+    const std::string name = program_.functionAt(entry);
+    auto fit = program_.functions.find(name);
+    if (fit != program_.functions.end()) {
+        end = fit->second.second;
+    } else {
+        const BasicBlock *bb = cfg_.blockContaining(entry);
+        end = bb ? bb->end : entry;
+    }
+
+    const unsigned depth = walkFunction(entry, begin, end);
+    inProgress_.erase(entry);
+    summaries_[entry] = {depth, true};
+    return depth;
+}
+
+void
+WcsuAnalyzer::touch(const SpState &st, std::int64_t extra,
+                    unsigned &depth)
+{
+    switch (st.mode) {
+      case SpState::kEntryRel: {
+        const std::int64_t cur = -st.value + extra;
+        if (cur > 0)
+            depth = std::max(depth, static_cast<unsigned>(cur));
+        return;
+      }
+      case SpState::kAbsolute:
+        for (const StackRegion &r : regions_) {
+            if (st.value < static_cast<std::int64_t>(r.base) ||
+                st.value > static_cast<std::int64_t>(r.top))
+                continue;
+            const std::int64_t used =
+                static_cast<std::int64_t>(r.top) - st.value + extra;
+            if (used > 0) {
+                unsigned &u = regionUsage_[r.name];
+                u = std::max(u, static_cast<unsigned>(used));
+            }
+            return;
+        }
+        return;
+      case SpState::kUnknown: {
+        const std::int64_t cur = -st.value + extra;
+        if (cur > 0)
+            unknownExtra_ =
+                std::max(unknownExtra_, static_cast<unsigned>(cur));
+        return;
+      }
+    }
+}
+
+unsigned
+WcsuAnalyzer::walkFunction(Addr entry, Addr begin, Addr end)
+{
+    unsigned depth = 0;
+    std::set<std::tuple<Addr, int, std::int64_t>> visited;
+    std::vector<std::pair<Addr, SpState>> work;
+    work.emplace_back(entry, SpState{});
+
+    auto inRange = [&](Addr pc) {
+        return pc >= begin && pc < end && cfg_.contains(pc);
+    };
+
+    while (!work.empty()) {
+        auto [pc, st] = work.back();
+        work.pop_back();
+        while (inRange(pc)) {
+            if (statesSeen_ >= options_.stateBudget) {
+                converged_ = false;
+                return depth;
+            }
+            if (!visited.insert({pc, st.mode, st.value}).second)
+                break;
+            ++statesSeen_;
+
+            const DecodedInsn &d = cfg_.insnAt(pc);
+            switch (d.op) {
+              case Op::kJal:
+                if (d.rd == 1) {
+                    // Call: charge the callee below the current sp,
+                    // then continue balanced (pass 2 verifies the
+                    // callee preserves sp).
+                    touch(st, depthOf(pc + static_cast<Word>(d.imm)),
+                          depth);
+                    pc += 4;
+                    continue;
+                }
+                {
+                    const Addr target = pc + static_cast<Word>(d.imm);
+                    if (inRange(target)) {
+                        pc = target;
+                        continue;
+                    }
+                    // Tail jump out of the function: charge the
+                    // target like a call and stop this path.
+                    if (cfg_.contains(target))
+                        touch(st, depthOf(target), depth);
+                    break;
+                }
+              case Op::kJalr:
+              case Op::kMret:
+              case Op::kInvalid:
+                pc = end;  // path ends
+                continue;
+              case Op::kSwitchRf:
+                // Hardware register-file swap: sp now belongs to the
+                // other context.
+                st = SpState{SpState::kUnknown, 0};
+                pc += 4;
+                continue;
+              default:
+                break;
+            }
+            if (!inRange(pc))
+                break;
+
+            if (classOf(d.op) == InsnClass::kBranch) {
+                const Addr taken = pc + static_cast<Word>(d.imm);
+                if (inRange(taken))
+                    work.emplace_back(taken, st);
+                pc += 4;
+                continue;
+            }
+
+            if (writesRd(d.op) && d.rd == kSpReg) {
+                if (d.op == Op::kAddi && d.rs1 == kSpReg) {
+                    st.value += d.imm;
+                } else if (d.op == Op::kLui) {
+                    st = SpState{SpState::kAbsolute,
+                                 static_cast<std::int64_t>(
+                                     static_cast<std::int32_t>(
+                                         static_cast<Word>(d.imm)
+                                         << 12))};
+                } else if (d.op == Op::kAuipc) {
+                    st = SpState{SpState::kAbsolute,
+                                 static_cast<std::int64_t>(
+                                     static_cast<std::int32_t>(
+                                         pc + (static_cast<Word>(d.imm)
+                                               << 12)))};
+                } else {
+                    // Frame switch (`lw sp, ...`) or computed rebase.
+                    st = SpState{SpState::kUnknown, 0};
+                }
+                touch(st, 0, depth);
+            }
+            pc += 4;
+        }
+    }
+    return depth;
+}
+
+void
+WcsuAnalyzer::checkOverflow(std::vector<Diagnostic> &out) const
+{
+    if (!converged_) {
+        Diagnostic d;
+        d.severity = Severity::kWarning;
+        d.code = "wcsu-unanalyzable";
+        d.message = "stack-usage walk exhausted its state budget; "
+                    "overflow checking skipped";
+        out.push_back(std::move(d));
+        return;
+    }
+
+    // Worst task depth vs the smallest task-stack capacity. Every
+    // task must additionally absorb the ISR add-on.
+    unsigned worst = 0;
+    std::string worstFn;
+    for (const auto &[name, range] : program_.functions) {
+        if (name.rfind("k_task_", 0) != 0)
+            continue;
+        const unsigned dep = entryDepth(name);
+        if (dep >= worst) {
+            worst = dep;
+            worstFn = name;
+        }
+    }
+    unsigned minCap = 0;
+    std::string minRegion;
+    for (const StackRegion &r : regions_) {
+        if (r.name == "k_isr_stack")
+            continue;
+        if (minRegion.empty() || r.capacity() < minCap) {
+            minCap = r.capacity();
+            minRegion = r.name;
+        }
+    }
+    if (!worstFn.empty() && !minRegion.empty() &&
+        worst + isrAddOn() > minCap) {
+        Diagnostic d;
+        d.severity = Severity::kError;
+        d.code = "stack-overflow-risk";
+        d.function = worstFn;
+        d.message = csprintf(
+            "worst-case stack usage %u bytes (task depth %u + isr "
+            "add-on %u) exceeds the %u-byte capacity of %s",
+            worst + isrAddOn(), worst, isrAddOn(), minCap,
+            minRegion.c_str());
+        out.push_back(std::move(d));
+    }
+
+    for (const StackRegion &r : regions_) {
+        auto it = regionUsage_.find(r.name);
+        if (it == regionUsage_.end() || it->second <= r.capacity())
+            continue;
+        Diagnostic d;
+        d.severity = Severity::kError;
+        d.code = "stack-overflow-risk";
+        d.message = csprintf(
+            "rebased stack usage %u bytes exceeds the %u-byte "
+            "capacity of %s", it->second, r.capacity(),
+            r.name.c_str());
+        out.push_back(std::move(d));
+    }
+}
+
+} // namespace rtu

@@ -2,6 +2,9 @@
 
 #include <utility>
 
+#include "analyze/absint/engine.hh"
+#include "analyze/absint/loopbound.hh"
+#include "analyze/absint/wcsu.hh"
 #include "kernel/kernel.hh"
 #include "workloads/workloads.hh"
 
@@ -17,7 +20,27 @@ lintProgram(const Program &program, const RtosUnitConfig &unit,
     checkCalleeSaved(cfg, options, result.diags);
     checkStackDiscipline(cfg, options, result.diags);
     checkCfgSoundness(cfg, options, result.diags);
+    if (options.absint)
+        checkAbsint(program, options, result.diags);
     return result;
+}
+
+void
+checkAbsint(const Program &program, const LintOptions &options,
+            std::vector<Diagnostic> &out)
+{
+    AbsintEngine engine(program);
+    engine.run();
+
+    LoopBoundOptions lbo;
+    lbo.pedantic = options.absintPedanticBounds;
+    LoopBoundResult bounds = inferLoopBounds(engine, lbo);
+    out.insert(out.end(), bounds.diags.begin(), bounds.diags.end());
+
+    WcsuAnalyzer wcsu(engine.cfg());
+    wcsu.run();
+    out.insert(out.end(), wcsu.diags().begin(), wcsu.diags().end());
+    wcsu.checkOverflow(out);
 }
 
 void

@@ -48,6 +48,17 @@ struct LintOptions
     bool wcetChecks = true;
     /** State-exploration budget per dataflow pass (visited states). */
     unsigned stateBudget = 200'000;
+    /**
+     * Run the abstract-interpretation pass family (pass 5): inferred
+     * loop bounds cross-checked against annotations, whole-program
+     * worst-case stack usage vs. the generated region capacities, and
+     * infeasible-branch detection. Off by default: it costs a full
+     * fixpoint per program.
+     */
+    bool absint = false;
+    /** With absint: also flag annotations that are sound but looser
+     *  than the inferred bound ("loop-bound-loose"). */
+    bool absintPedanticBounds = false;
 };
 
 struct LintResult
@@ -82,6 +93,11 @@ void checkStackDiscipline(const Cfg &cfg, const LintOptions &options,
 /** Pass 4: reachability, terminators, annotation coverage. */
 void checkCfgSoundness(const Cfg &cfg, const LintOptions &options,
                        std::vector<Diagnostic> &out);
+
+/** Pass 5: abstract interpretation — loop-bound cross-check and
+ *  worst-case stack usage (see src/analyze/absint). */
+void checkAbsint(const Program &program, const LintOptions &options,
+                 std::vector<Diagnostic> &out);
 
 // ---- generated-program matrix ---------------------------------------
 

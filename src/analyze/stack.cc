@@ -2,25 +2,39 @@
  * @file
  * Pass 3: stack-pointer discipline, per function.
  *
- * Tracks the SP delta relative to function entry along every path:
+ * Tracks the SP value along every path in one of three modes:
  *
- *  - joining paths must agree on the delta ("stack-imbalance"): a
- *    block entered with two different known deltas means some path
- *    leaked or double-popped frame bytes;
- *  - `ret` must see delta 0 ("stack-ret-imbalance");
+ *  - entry-relative: a known delta from the function's entry SP
+ *    (the common case — `addi sp, sp, imm` frame pushes and pops);
+ *  - absolute: a known machine address, entered through a
+ *    `lui sp` / `auipc sp` rebase (the ISR-stack rebase `la sp,
+ *    k_isr_stack_top` expands to `lui` + `addi`, both of which stay
+ *    precise in this mode);
+ *  - unknown: a frame switch through memory (`lw sp, ...`) or a
+ *    computed rebase; unknown values carry no balance obligation
+ *    (context-restore paths load the next task's SP legitimately and
+ *    end in `mret`, which pass 1 owns).
+ *
+ * Checks:
+ *
+ *  - joining paths must agree on the SP value ("stack-imbalance"): a
+ *    block entered with two different values in the same mode means
+ *    some path leaked or double-popped frame bytes — this now also
+ *    catches disagreeing absolute rebases, which the old delta-only
+ *    tracker lumped into "unknown" and silently accepted;
+ *  - `ret` must see the entry SP ("stack-ret-imbalance") — returning
+ *    with a rebased (absolute-mode) SP abandons the caller's frame
+ *    and is reported under the same code;
  *  - loads/stores must not address below SP ("stack-below-sp") — the
  *    region below the stack pointer is dead and an interrupt may
  *    clobber it at any instruction boundary.
- *
- * A non-`addi sp, sp, imm` write to SP (frame switch via `lw sp`,
- * ISR-stack rebase via `la sp`) makes the delta unknown; unknown
- * deltas carry no balance obligation (trap paths rebase legitimately
- * and end in `mret`, which pass 1 owns).
  */
 
+#include <cstdint>
 #include <map>
 #include <set>
 #include <string>
+#include <tuple>
 #include <unordered_set>
 #include <utility>
 #include <vector>
@@ -49,9 +63,9 @@ class StackWalker
         fnBegin_ = begin;
         fnEnd_ = end;
         visited_.clear();
-        leaderDeltas_.clear();
+        leaderStates_.clear();
         work_.clear();
-        work_.emplace_back(begin, State{0, true});
+        work_.emplace_back(begin, State{});
         while (!work_.empty()) {
             auto [pc, state] = work_.back();
             work_.pop_back();
@@ -62,8 +76,10 @@ class StackWalker
   private:
     struct State
     {
-        int delta = 0;
-        bool known = true;
+        enum Mode { kEntryRel, kAbsolute, kUnknown };
+        Mode mode = kEntryRel;
+        /** Delta from entry SP (kEntryRel) or address (kAbsolute). */
+        std::int64_t value = 0;
     };
 
     bool
@@ -88,30 +104,49 @@ class StackWalker
         out_.push_back(std::move(d));
     }
 
+    static std::string
+    describe(const State &st)
+    {
+        switch (st.mode) {
+          case State::kEntryRel:
+            return csprintf("entry%+d", static_cast<int>(st.value));
+          case State::kAbsolute:
+            return csprintf("0x%08x",
+                            static_cast<Word>(st.value));
+          default:
+            return "unknown";
+        }
+    }
+
     bool
     enter(Addr pc, const State &st)
     {
         if (cfg_.blocks().count(pc) == 0)
             return true;
-        if (st.known) {
-            auto &deltas = leaderDeltas_[pc];
-            deltas.insert(st.delta);
-            if (deltas.size() == 2) {
-                report("stack-imbalance", pc,
-                       csprintf("block entered with conflicting sp "
-                                "deltas (%d vs %d): paths disagree on "
-                                "the frame size", *deltas.begin(),
-                                *deltas.rbegin()));
+        if (st.mode != State::kUnknown) {
+            auto &states = leaderStates_[pc];
+            states.insert({st.mode, st.value});
+            // Two values in the same mode disagree outright. Mixed
+            // modes (entry-relative vs absolute) are incomparable
+            // statically and join like the old known-vs-unknown case.
+            std::map<int, std::int64_t> by_mode;
+            for (const auto &[mode, value] : states) {
+                auto [it, inserted] = by_mode.emplace(mode, value);
+                if (!inserted && it->second != value) {
+                    report("stack-imbalance", pc,
+                           csprintf("block entered with conflicting "
+                                    "sp values (%s vs %s): paths "
+                                    "disagree on the frame size",
+                                    describe(State{
+                                        static_cast<State::Mode>(mode),
+                                        it->second}),
+                                    describe(st)));
+                }
             }
         }
         if (statesSeen_ >= options_.stateBudget)
             return false;
-        const std::uint64_t key =
-            (static_cast<std::uint64_t>(static_cast<std::uint32_t>(
-                 st.delta))
-             << 1) |
-            (st.known ? 1u : 0u);
-        if (!visited_.insert({pc, key}).second)
+        if (!visited_.insert({pc, st.mode, st.value}).second)
             return false;
         ++statesSeen_;
         return true;
@@ -134,12 +169,20 @@ class StackWalker
                 pc += static_cast<Word>(d.imm);
                 continue;
               case Op::kJalr:
-                if (d.rd == Zero && d.rs1 == RA && d.imm == 0 &&
-                    st.known && st.delta != 0) {
-                    report("stack-ret-imbalance", pc,
-                           csprintf("ret with sp offset %d from the "
-                                    "entry value: frame not fully "
-                                    "popped", st.delta));
+                if (d.rd == Zero && d.rs1 == RA && d.imm == 0) {
+                    if (st.mode == State::kEntryRel && st.value != 0) {
+                        report("stack-ret-imbalance", pc,
+                               csprintf("ret with sp offset %d from "
+                                        "the entry value: frame not "
+                                        "fully popped",
+                                        static_cast<int>(st.value)));
+                    } else if (st.mode == State::kAbsolute) {
+                        report("stack-ret-imbalance", pc,
+                               csprintf("ret with sp rebased to %s: "
+                                        "the caller's frame is "
+                                        "abandoned",
+                                        describe(st)));
+                    }
                 }
                 return;
               case Op::kMret:
@@ -169,10 +212,19 @@ class StackWalker
 
             if (writesRd(d.op) && d.rd == SP) {
                 if (d.op == Op::kAddi && d.rs1 == SP) {
-                    if (st.known)
-                        st.delta += d.imm;
+                    if (st.mode != State::kUnknown)
+                        st.value += d.imm;
+                } else if (d.op == Op::kLui) {
+                    st.mode = State::kAbsolute;
+                    st.value = static_cast<std::int32_t>(
+                        static_cast<Word>(d.imm) << 12);
+                } else if (d.op == Op::kAuipc) {
+                    st.mode = State::kAbsolute;
+                    st.value = static_cast<std::int32_t>(
+                        pc + (static_cast<Word>(d.imm) << 12));
                 } else {
-                    st.known = false;  // rebase / frame switch
+                    st.mode = State::kUnknown;  // frame switch
+                    st.value = 0;
                 }
             }
             pc += 4;
@@ -186,8 +238,9 @@ class StackWalker
     Addr fnBegin_ = 0;
     Addr fnEnd_ = 0;
     std::vector<std::pair<Addr, State>> work_;
-    std::set<std::pair<Addr, std::uint64_t>> visited_;
-    std::map<Addr, std::set<int>> leaderDeltas_;
+    std::set<std::tuple<Addr, int, std::int64_t>> visited_;
+    std::map<Addr, std::set<std::pair<int, std::int64_t>>>
+        leaderStates_;
     std::unordered_set<std::string> reported_;
     unsigned statesSeen_ = 0;
 };

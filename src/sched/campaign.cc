@@ -4,6 +4,7 @@
 #include <cmath>
 #include <ostream>
 
+#include "analyze/absint/loopbound.hh"
 #include "common/json.hh"
 #include "common/logging.hh"
 #include "kernel/kernel.hh"
@@ -128,6 +129,11 @@ measureOverheads(CoreKind core, const RtosUnitConfig &unit,
         probeWorkload->addTasks(kb);
         const Program program = kb.build();
         WcetAnalyzer analyzer(program, unit);
+        // Tighten the walk with abstract-interpretation facts:
+        // inferred loop bounds (never looser than the annotations)
+        // and statically infeasible branch edges. The tighter ISR
+        // WCET directly lowers the RTA switch-cost floor below.
+        analyzer.setFacts(deriveAbsintFacts(program));
         m.hasWcet = true;
         m.wcetCycles =
             static_cast<double>(analyzer.analyzeIsr().totalCycles);

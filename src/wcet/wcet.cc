@@ -19,7 +19,11 @@ worstGetHwSchedStall(unsigned list_slots)
 /** Worst-case SWITCH_RF stall: the full store drain. */
 constexpr unsigned kWorstSwitchRfStall = kCtxWords;
 
-constexpr unsigned kMaxDepth = 64;
+/** Depth cap for the recursive walk. Budgeted backward branches
+ *  recurse once per iteration, so this must clear the largest useful
+ *  inferred bound plus call/branch nesting; it only exists to catch
+ *  runaway recursion on broken inputs. */
+constexpr unsigned kMaxDepth = 512;
 
 } // namespace
 
@@ -45,6 +49,27 @@ WcetAnalyzer::reportOnce(const std::string &code, Addr pc,
     d.insn = disassemble(cfg_.insnAt(pc).raw);
     d.message = message;
     diags_.push_back(std::move(d));
+}
+
+void
+WcetAnalyzer::setFacts(AbsintFacts facts)
+{
+    rtu_assert(functionCache_.empty(),
+               "setFacts() after analysis started");
+    facts_ = std::move(facts);
+}
+
+std::optional<unsigned>
+WcetAnalyzer::backEdgeBudget(Addr pc) const
+{
+    std::optional<unsigned> budget;
+    if (cfg_.hasLoopBound(pc))
+        budget = cfg_.loopBound(pc);
+    auto it = facts_.inferredBounds.find(pc);
+    if (it != facts_.inferredBounds.end() &&
+        (!budget || it->second < *budget))
+        budget = it->second;
+    return budget;
 }
 
 WcetAnalyzer::PathCost
@@ -138,12 +163,12 @@ WcetAnalyzer::worstFrom(Addr pc, std::map<Addr, unsigned> budgets,
 
           case TermKind::kJump: {
             const Addr target = bb->takenTarget;
-            // Bounded back edges consume loop budget.
-            if (cfg_.hasLoopBound(pc)) {
-                // The annotation bounds how often this back edge may
+            // Bounded back edges consume loop budget: the tighter of
+            // the manual annotation and the inferred bound.
+            if (const auto budget = backEdgeBudget(pc)) {
+                // The bound caps how often this back edge may
                 // execute (see Assembler::loopBound).
-                auto [it, inserted] =
-                    budgets.emplace(pc, cfg_.loopBound(pc));
+                auto [it, inserted] = budgets.emplace(pc, *budget);
                 (void)inserted;
                 if (it->second == 0) {
                     // Budget exhausted: this continuation is
@@ -168,25 +193,52 @@ WcetAnalyzer::worstFrom(Addr pc, std::map<Addr, unsigned> budgets,
           }
 
           case TermKind::kBranch: {
-            // Explore both successors; keep the worst.
+            // Explore the feasible successors; keep the worst.
             total = total.plus(step);
             const Addr taken = bb->takenTarget;
-            if (taken <= pc && !cfg_.hasLoopBound(pc)) {
+            const bool takenDead = facts_.infeasibleTaken.count(pc) > 0;
+            const bool fallDead = facts_.infeasibleFall.count(pc) > 0;
+            if (takenDead && fallDead)
+                return total;  // unreachable terminator
+            const auto budget = backEdgeBudget(pc);
+            if (taken <= pc && !budget) {
                 // Formerly a hard assert: an unannotated backward
                 // branch makes the loop unbounded. Report it and
                 // treat the taken edge as infeasible so callers see
                 // a result plus a diagnostic instead of an abort.
-                reportOnce("wcet-unannotated-back-edge", pc,
-                           "unannotated backward branch: taken edge "
-                           "treated as infeasible, WCET is a "
-                           "lower bound");
+                if (!takenDead) {
+                    reportOnce("wcet-unannotated-back-edge", pc,
+                               "unannotated backward branch: taken "
+                               "edge treated as infeasible, WCET is "
+                               "a lower bound");
+                }
                 return total.plus(
                     worstFrom(pc + 4, budgets, depth + 1));
             }
-            PathCost t = worstFrom(taken, budgets, depth + 1);
-            PathCost f = worstFrom(pc + 4, budgets, depth + 1);
-            t.takeMax(f);
-            return total.plus(t);
+            if (taken <= pc) {
+                // Budgeted backward branch (a bottom-tested loop):
+                // the taken edge re-enters the loop and consumes
+                // budget; the fall-through is the exit.
+                auto [it, inserted] = budgets.emplace(pc, *budget);
+                (void)inserted;
+                PathCost best;
+                if (!takenDead && it->second > 0) {
+                    std::map<Addr, unsigned> next = budgets;
+                    --next[pc];
+                    best = worstFrom(taken, std::move(next),
+                                     depth + 1);
+                }
+                if (!fallDead)
+                    best.takeMax(worstFrom(pc + 4, budgets,
+                                           depth + 1));
+                return total.plus(best);
+            }
+            PathCost best;
+            if (!takenDead)
+                best = worstFrom(taken, budgets, depth + 1);
+            if (!fallDead)
+                best.takeMax(worstFrom(pc + 4, budgets, depth + 1));
+            return total.plus(best);
           }
 
           case TermKind::kIndirect:

@@ -25,10 +25,12 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "analyze/absint/facts.hh"
 #include "analyze/cfg.hh"
 #include "analyze/diag.hh"
 #include "asm/program.hh"
@@ -57,6 +59,17 @@ class WcetAnalyzer
 
     /** Worst-case cycles of one function (until its return). */
     std::uint64_t analyzeFunction(const std::string &symbol);
+
+    /**
+     * Apply abstract-interpretation facts (deriveAbsintFacts): every
+     * back edge is budgeted with the tighter of its annotation and
+     * the inferred bound (inferred bounds also unlock loops with no
+     * annotation at all, including backward conditional branches),
+     * and statically infeasible branch edges are excluded from the
+     * longest-path search. Must be called before the first analyze;
+     * with no facts the analysis is exactly the annotation-only walk.
+     */
+    void setFacts(AbsintFacts facts);
 
     /**
      * Soundness problems found while walking (accumulated across
@@ -100,10 +113,15 @@ class WcetAnalyzer
     void reportOnce(const std::string &code, Addr pc,
                     const std::string &message);
 
+    /** Tightest budget for the back edge at @p pc: min(annotation,
+     *  inferred), or nullopt when neither exists. */
+    std::optional<unsigned> backEdgeBudget(Addr pc) const;
+
     const Program &program_;
     RtosUnitConfig unit_;
     Cv32e40pParams params_;
     Cfg cfg_;
+    AbsintFacts facts_;
     std::map<Addr, PathCost> functionCache_;
     std::vector<Diagnostic> diags_;
     std::set<std::pair<std::string, Addr>> reported_;

@@ -1,0 +1,483 @@
+/**
+ * Abstract-interpretation engine (src/analyze/absint): the
+ * interval/value-set/congruence domain, the fixpoint engine, the
+ * loop-bound recognizers with their seeded-defect fixtures (each must
+ * produce exactly the documented diagnostic), worst-case stack usage,
+ * the derived-stack-size kernel generator path, and the acceptance
+ * check — every generated kernel x workload x configuration point
+ * passes the absint pass family clean.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analyze/absint/engine.hh"
+#include "analyze/absint/interval.hh"
+#include "analyze/absint/loopbound.hh"
+#include "analyze/absint/wcsu.hh"
+#include "analyze/linter.hh"
+#include "asm/assembler.hh"
+#include "harness/simulation.hh"
+#include "kernel/kernel.hh"
+#include "kernel/layout.hh"
+#include "workloads/workloads.hh"
+
+using namespace rtu;
+
+namespace {
+
+constexpr Addr kTextBase = 0x0000;
+constexpr Addr kDataBase = 0x8000;
+
+std::string
+diagsText(const std::vector<Diagnostic> &diags)
+{
+    std::string out;
+    for (const Diagnostic &d : diags)
+        out += "  " + diagToString(d) + "\n";
+    return out;
+}
+
+/** Run only the absint pass family over @p program. */
+std::vector<Diagnostic>
+absintLint(const Program &program, bool pedantic = false)
+{
+    LintOptions options;
+    options.absint = true;
+    options.absintPedanticBounds = pedantic;
+    std::vector<Diagnostic> out;
+    checkAbsint(program, options, out);
+    return out;
+}
+
+/**
+ * Countdown-loop fixture: t0 counts 10 -> 0, the bnez back edge
+ * executes 9 times. @p annotation is attached to the back edge.
+ */
+Program
+countdownLoop(unsigned annotation)
+{
+    Assembler a(kTextBase, kDataBase);
+    a.fnBegin("_start");
+    a.li(T0, 10);
+    a.label("loop");
+    a.addi(T0, T0, -1);
+    a.loopBound(annotation);
+    a.bnez(T0, "loop");
+    a.ret();
+    a.fnEnd();
+    return a.finish();
+}
+
+} // namespace
+
+// ---- interval domain -------------------------------------------------
+
+TEST(Interval, JoinMeetWiden)
+{
+    const Interval a = Interval::range(2, 5);
+    const Interval b = Interval::range(8, 9);
+    EXPECT_EQ(Interval::join(a, b), Interval::range(2, 9));
+    EXPECT_TRUE(Interval::meet(a, b).isBottom());
+    EXPECT_EQ(Interval::meet(Interval::range(2, 8), b),
+              Interval::constant(8));
+
+    // Threshold widening: an upward-creeping bound jumps to the next
+    // ladder rung rather than iterating to the moon one step at a time.
+    const Interval w =
+        Interval::widen(Interval::range(0, 3), Interval::range(0, 4));
+    EXPECT_EQ(w.lo, 0);
+    EXPECT_EQ(w.hi, Interval::kMax);
+    // A stable bound is left alone.
+    EXPECT_EQ(Interval::widen(a, a), a);
+}
+
+TEST(Interval, TransferOverflowDegrades)
+{
+    // Adding past INT32_MAX may wrap in RV32, so the result must not
+    // pretend to be a tight positive range.
+    const Interval big = Interval::constant(Interval::kMax);
+    const Interval one = Interval::constant(1);
+    EXPECT_TRUE(Interval::add(big, one).isTop());
+    // In-range arithmetic stays exact.
+    EXPECT_EQ(Interval::add(Interval::range(1, 2), Interval::range(10, 20)),
+              Interval::range(11, 22));
+    EXPECT_EQ(Interval::mul(Interval::range(2, 3), Interval::constant(4)),
+              Interval::range(8, 12));
+}
+
+TEST(Interval, DecideBranches)
+{
+    const Interval lo = Interval::range(0, 3);
+    const Interval hi = Interval::range(5, 9);
+    EXPECT_EQ(Interval::decide(Op::kBlt, lo, hi), std::optional(true));
+    EXPECT_EQ(Interval::decide(Op::kBge, lo, hi), std::optional(false));
+    EXPECT_EQ(Interval::decide(Op::kBeq, lo, hi), std::optional(false));
+    // Overlapping ranges cannot be decided.
+    EXPECT_EQ(Interval::decide(Op::kBlt, lo, Interval::range(2, 4)),
+              std::nullopt);
+}
+
+// ---- value-set / congruence domain -----------------------------------
+
+TEST(AbsVal, StridedMaterializesSmallSets)
+{
+    // [0, 224] restricted to multiples of 32 is exactly 8 values:
+    // small enough for the exact set (e.g. the 8 ready-list headers).
+    const AbsVal v = AbsVal::strided(Interval::range(0, 224), 32, 0);
+    ASSERT_TRUE(v.hasSet);
+    ASSERT_EQ(v.consts.size(), 8u);
+    EXPECT_EQ(v.consts.front(), 0);
+    EXPECT_EQ(v.consts.back(), 224);
+    EXPECT_EQ(v.valueGap(), 32);
+
+    // Too many members: stays an interval but keeps the congruence.
+    const AbsVal w = AbsVal::strided(Interval::range(0, 100'000), 8, 4);
+    EXPECT_FALSE(w.hasSet);
+    EXPECT_EQ(w.stride, 8);
+    EXPECT_EQ(w.iv.lo % 8, 4);
+}
+
+TEST(AbsVal, JoinGrowsSetsThenKeepsStride)
+{
+    const AbsVal j = AbsVal::join(AbsVal::constant(0x8000),
+                                  AbsVal::constant(0x8040));
+    ASSERT_TRUE(j.hasSet);
+    EXPECT_EQ(j.consts.size(), 2u);
+    EXPECT_EQ(j.valueGap(), 0x40);
+
+    // Past kMaxConsts the set degrades to its interval hull, but the
+    // gcd of the member gaps survives as a congruence.
+    AbsVal acc = AbsVal::constant(0);
+    const std::int64_t last = 32 * (AbsVal::kMaxConsts + 4);
+    for (std::int64_t v = 32; v <= last; v += 32)
+        acc = AbsVal::join(acc, AbsVal::constant(v));
+    EXPECT_FALSE(acc.hasSet);
+    EXPECT_EQ(acc.stride, 32);
+}
+
+TEST(AbsVal, Pow2StrideSurvivesWrappingAdd)
+{
+    // The k_select address pattern: base + (i << 5) where the widened
+    // index makes the interval add overflow the 32-bit guard. A
+    // power-of-two stride divides 2^32, so the congruence is preserved
+    // through the wrap and refinement against the array extent
+    // recovers the exact 8-header set.
+    const AbsVal base = AbsVal::constant(0x10000014);
+    const AbsVal index =
+        AbsVal::strided(Interval::range(Interval::kMin, 224), 32, 0);
+    const AbsVal sum = absEval(Op::kAdd, base, index);
+    ASSERT_FALSE(sum.isBottom());
+    EXPECT_EQ(sum.stride, 32);
+    EXPECT_EQ(((sum.iv.lo % 32) + 32) % 32, 0x14 % 32);
+
+    const AbsVal refined =
+        sum.refined(Interval::range(0x10000014, 0x10000113));
+    ASSERT_TRUE(refined.hasSet);
+    EXPECT_EQ(refined.consts.size(), 8u);
+    EXPECT_EQ(refined.consts.front(), 0x10000014);
+    EXPECT_EQ(refined.consts.back(), 0x10000014 + 7 * 32);
+}
+
+TEST(AbsVal, RefineByBranch)
+{
+    // beq taken against a constant pins the unknown operand.
+    AbsVal a = AbsVal::fromInterval(Interval::range(0, 10));
+    AbsVal b = AbsVal::constant(5);
+    refineByBranch(Op::kBeq, /*taken=*/true, a, b);
+    EXPECT_TRUE(a.isConst());
+    EXPECT_EQ(a.constValue(), 5);
+
+    // blt not-taken: a >= b.
+    AbsVal c = AbsVal::fromInterval(Interval::range(0, 10));
+    AbsVal d = AbsVal::constant(7);
+    refineByBranch(Op::kBlt, /*taken=*/false, c, d);
+    EXPECT_EQ(c.iv.lo, 7);
+    EXPECT_EQ(c.iv.hi, 10);
+
+    // Contradiction proves the edge infeasible.
+    AbsVal e = AbsVal::constant(3);
+    AbsVal f = AbsVal::constant(4);
+    refineByBranch(Op::kBeq, /*taken=*/true, e, f);
+    EXPECT_TRUE(e.isBottom() || f.isBottom());
+}
+
+TEST(AbsVal, SetwiseDecideBeatsIntervalHull)
+{
+    // Two disjoint pointer sets whose interval hulls overlap: the
+    // set-pointwise decision still proves inequality.
+    const AbsVal a = AbsVal::fromSet({0x8000, 0x8020});
+    const AbsVal b = AbsVal::fromSet({0x8010, 0x8030});
+    EXPECT_EQ(absDecide(Op::kBeq, a, b), std::optional(false));
+    EXPECT_EQ(absDecide(Op::kBne, a, b), std::optional(true));
+    EXPECT_EQ(absDecide(Op::kBeq, a, a), std::nullopt);
+}
+
+// ---- engine ----------------------------------------------------------
+
+TEST(AbsintEngine, ConvergesAndTracksTheCounter)
+{
+    const Program p = countdownLoop(9);
+    AbsintEngine engine(p);
+    engine.run();
+    ASSERT_TRUE(engine.converged());
+
+    // At the bnez the counter must include the whole descending chain
+    // and nothing below 0 (the exit refinement pins t0 == 0 after).
+    const Addr branch = p.symbol("loop") + 4;
+    const RegState *term = engine.termState(p.symbol("loop"));
+    ASSERT_NE(term, nullptr);
+    EXPECT_GE(term->reg(T0).iv.lo, 0);
+    EXPECT_LE(term->reg(T0).iv.hi, 9);
+
+    const RegState *after = engine.edgeState(p.symbol("loop"), branch + 4);
+    ASSERT_NE(after, nullptr);
+    EXPECT_TRUE(after->reg(T0).isConst());
+    EXPECT_EQ(after->reg(T0).constValue(), 0);
+}
+
+TEST(AbsintEngine, ProvesInfeasibleBranchEdges)
+{
+    Assembler a(kTextBase, kDataBase);
+    a.fnBegin("_start");
+    a.li(T0, 0);
+    a.bne(T0, Zero, "unreached");  // t0 == 0: taken edge infeasible
+    a.nop();
+    a.label("unreached");
+    a.ret();
+    a.fnEnd();
+    const Program p = a.finish();
+
+    AbsintEngine engine(p);
+    engine.run();
+    ASSERT_TRUE(engine.converged());
+    EXPECT_EQ(engine.infeasibleTaken().size(), 1u);
+    EXPECT_TRUE(engine.infeasibleFall().empty());
+
+    const AbsintFacts facts = deriveAbsintFacts(p);
+    EXPECT_FALSE(facts.empty());
+    EXPECT_EQ(facts.infeasibleTaken.size(), 1u);
+}
+
+// ---- loop-bound inference + seeded defects ---------------------------
+
+TEST(LoopBound, InfersCountdownTripCount)
+{
+    const Program p = countdownLoop(9);
+    AbsintEngine engine(p);
+    engine.run();
+    const LoopBoundResult r = inferLoopBounds(engine);
+    ASSERT_EQ(r.inferred.size(), 1u);
+    EXPECT_EQ(r.inferred.begin()->second, 9u);
+    EXPECT_TRUE(r.diags.empty()) << diagsText(r.diags);
+}
+
+TEST(LoopBound, SeededTooTightAnnotationIsAnError)
+{
+    // Annotated 5, actual worst case 9: WCET budgets derived from the
+    // annotation would be unsound.
+    const auto diags = absintLint(countdownLoop(5));
+    EXPECT_TRUE(hasCode(diags, "loop-bound-too-tight")) << diagsText(diags);
+    EXPECT_GE(countErrors(diags), 1u);
+}
+
+TEST(LoopBound, ExactAnnotationVerifiesClean)
+{
+    const auto diags = absintLint(countdownLoop(9));
+    EXPECT_TRUE(diags.empty()) << diagsText(diags);
+}
+
+TEST(LoopBound, SeededLooseAnnotationIsPedanticOnly)
+{
+    // Annotated 20, actual worst case 9: sound but pessimistic — only
+    // flagged when the pedantic knob is set.
+    EXPECT_TRUE(absintLint(countdownLoop(20)).empty());
+    const auto diags = absintLint(countdownLoop(20), /*pedantic=*/true);
+    EXPECT_TRUE(hasCode(diags, "loop-bound-loose")) << diagsText(diags);
+    EXPECT_EQ(countErrors(diags), 0u);
+}
+
+TEST(LoopBound, SeededUnrecognizableLoopIsUnverified)
+{
+    // A halving loop terminates, but no recognizer covers shift steps:
+    // the annotation must be flagged as unconfirmed, not trusted.
+    Assembler a(kTextBase, kDataBase);
+    a.fnBegin("_start");
+    a.li(T0, 10);
+    a.label("loop");
+    a.srli(T0, T0, 1);
+    a.loopBound(4);
+    a.bnez(T0, "loop");
+    a.ret();
+    a.fnEnd();
+    const auto diags = absintLint(a.finish());
+    EXPECT_TRUE(hasCode(diags, "loop-bound-unverified")) << diagsText(diags);
+    EXPECT_EQ(countErrors(diags), 0u);
+}
+
+// ---- worst-case stack usage ------------------------------------------
+
+TEST(Wcsu, ComposesDepthsOverTheCallGraph)
+{
+    Assembler a(kTextBase, kDataBase);
+    a.fnBegin("k_task_a");
+    a.addi(SP, SP, -32);
+    a.sw(RA, 28, SP);
+    a.call("helper");
+    a.lw(RA, 28, SP);
+    a.addi(SP, SP, 32);
+    a.ret();
+    a.fnEnd();
+    a.fnBegin("helper");
+    a.addi(SP, SP, -16);
+    a.addi(SP, SP, 16);
+    a.ret();
+    a.fnEnd();
+    const Program p = a.finish();
+    const Cfg cfg(p);
+
+    WcsuAnalyzer wcsu(cfg);
+    wcsu.run();
+    ASSERT_TRUE(wcsu.converged());
+    EXPECT_EQ(wcsu.entryDepth("helper"), 16u);
+    EXPECT_EQ(wcsu.entryDepth("k_task_a"), 48u);
+    EXPECT_TRUE(wcsu.diags().empty()) << diagsText(wcsu.diags());
+}
+
+TEST(Wcsu, SeededRecursionIsReported)
+{
+    Assembler a(kTextBase, kDataBase);
+    a.fnBegin("r");
+    a.addi(SP, SP, -16);
+    a.call("r");
+    a.addi(SP, SP, 16);
+    a.ret();
+    a.fnEnd();
+    const Program p = a.finish();
+    const Cfg cfg(p);
+    WcsuAnalyzer wcsu(cfg);
+    wcsu.run();
+    EXPECT_TRUE(hasCode(wcsu.diags(), "wcsu-recursion"))
+        << diagsText(wcsu.diags());
+}
+
+TEST(Wcsu, SeededOverflowRiskIsReported)
+{
+    // A 512-byte frame against a 64-byte generated stack region.
+    Assembler a(kTextBase, kDataBase);
+    a.fnBegin("k_task_big");
+    a.addi(SP, SP, -512);
+    a.addi(SP, SP, 512);
+    a.ret();
+    a.fnEnd();
+    a.dataArray("k_stack_0", 16);
+    a.dataWord("k_stack_0_top");
+    const Program p = a.finish();
+    const Cfg cfg(p);
+
+    WcsuAnalyzer wcsu(cfg);
+    wcsu.run();
+    ASSERT_EQ(wcsu.stackRegions().size(), 1u);
+    EXPECT_EQ(wcsu.stackRegions()[0].capacity(), 64u);
+
+    std::vector<Diagnostic> out;
+    wcsu.checkOverflow(out);
+    EXPECT_TRUE(hasCode(out, "stack-overflow-risk")) << diagsText(out);
+    EXPECT_GE(countErrors(out), 1u);
+}
+
+// ---- derived task-stack sizing (KernelParams::useDerivedStackSize) ---
+
+namespace {
+
+Program
+buildKernelImage(const std::string &config, const Workload &workload,
+                 bool derived_stacks)
+{
+    const WorkloadInfo info = workload.info();
+    KernelParams kparams;
+    kparams.unit = RtosUnitConfig::fromName(config);
+    kparams.timerPeriodCycles = 1000;
+    kparams.usesExternalIrq = info.usesExternalIrq;
+    kparams.usesDelayUntil = info.usesDelayUntil;
+    kparams.useDerivedStackSize = derived_stacks;
+    KernelBuilder kb(kparams);
+    workload.addTasks(kb);
+    return kb.build();
+}
+
+} // namespace
+
+TEST(DerivedStacks, OffPathIsDeterministicallyFixedSize)
+{
+    const auto w = makeWorkload("yield_pingpong", 3);
+    const Program fixed = buildKernelImage("SLT", *w, false);
+    const Program again = buildKernelImage("SLT", *w, false);
+    EXPECT_EQ(fixed.text, again.text);
+    EXPECT_EQ(fixed.data, again.data);
+    EXPECT_EQ(fixed.symbols, again.symbols);
+
+    // Fixed-size layout: every task stack is exactly kTaskStackBytes.
+    const Addr base = fixed.symbol("k_stack_0");
+    const Addr top = fixed.symbol("k_stack_0_top");
+    EXPECT_EQ(top - base, kernel::kTaskStackBytes);
+}
+
+TEST(DerivedStacks, DerivedRegionsAreAlignedAndFrameSafe)
+{
+    const auto w = makeWorkload("mutex_workload", 2);
+    const Program p = buildKernelImage("SLT", *w, true);
+    for (unsigned i = 0;; ++i) {
+        const auto it = p.symbols.find("k_stack_" + std::to_string(i));
+        if (it == p.symbols.end()) {
+            EXPECT_GT(i, 0u);
+            break;
+        }
+        const Addr cap =
+            p.symbol("k_stack_" + std::to_string(i) + "_top") - it->second;
+        EXPECT_GE(cap, kernel::kFrameBytes) << "k_stack_" << i;
+        EXPECT_EQ(cap % 16, 0u) << "k_stack_" << i;
+    }
+}
+
+TEST(DerivedStacks, DerivedImagePassesTheAbsintGate)
+{
+    const auto w = makeWorkload("sem_pingpong", 2);
+    const auto diags = absintLint(buildKernelImage("SLT", *w, true));
+    EXPECT_TRUE(diags.empty()) << diagsText(diags);
+}
+
+TEST(DerivedStacks, DerivedImageRunsToCompletion)
+{
+    for (const char *config : {"vanilla", "SLT"}) {
+        for (const char *name : {"yield_pingpong", "mutex_workload"}) {
+            const auto w = makeWorkload(name, 3);
+            const Program p = buildKernelImage(config, *w, true);
+
+            SimConfig sconfig;
+            sconfig.core = CoreKind::kCv32e40p;
+            sconfig.unit = RtosUnitConfig::fromName(config);
+            sconfig.timerPeriodCycles = 1000;
+            sconfig.maxCycles = w->info().maxCycles;
+            Simulation sim(sconfig, p);
+            EXPECT_TRUE(sim.run()) << config << "/" << name;
+            EXPECT_EQ(sim.exitCode(), 0u) << config << "/" << name;
+        }
+    }
+}
+
+// ---- acceptance: the generated matrix passes the absint family -------
+
+TEST(AbsintMatrix, EveryGeneratedKernelPassesClean)
+{
+    unsigned points = 0;
+    forEachGeneratedProgram(
+        [&](const LintPoint &point) {
+            const auto diags = absintLint(point.program);
+            EXPECT_TRUE(diags.empty())
+                << point.unit.name() << "/" << point.workload << "\n"
+                << diagsText(diags);
+            ++points;
+        },
+        /*include_hwsync=*/false);
+    EXPECT_EQ(points, 12u * 7u);
+}

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include "analyze/absint/loopbound.hh"
+#include "analyze/linter.hh"
 #include "asm/assembler.hh"
 #include "harness/experiment.hh"
 #include "kernel/kernel.hh"
@@ -217,6 +219,78 @@ TEST_F(KernelWcet, GoldenValuesPinnedAcrossRefactors)
         EXPECT_EQ(r.pathInsns, g.insns) << g.config;
         EXPECT_EQ(r.pathMemOps, g.mem) << g.config;
     }
+}
+
+// ---- abstract-interpretation facts (src/analyze/absint) --------------
+
+TEST(WcetFacts, InfeasibleBranchPruningTightensTheBound)
+{
+    // The expensive path is guarded by a branch the interval analysis
+    // refutes: annotation-only WCET must charge it, facts-aware WCET
+    // must not.
+    const Program p = withIsr([](Assembler &a) {
+        a.li(T0, 0);
+        a.bne(T0, Zero, "slow");  // t0 == 0: never taken
+        a.mret();
+        a.label("slow");
+        for (int i = 0; i < 50; ++i)
+            a.nop();
+        a.mret();
+    });
+
+    const std::uint64_t plain = isrWcet(p);
+    WcetAnalyzer an(p, RtosUnitConfig::vanilla());
+    an.setFacts(deriveAbsintFacts(p));
+    const std::uint64_t pruned = an.analyzeIsr().totalCycles;
+    EXPECT_LT(pruned, plain);
+    EXPECT_GT(pruned, 0u);
+}
+
+TEST(WcetFacts, InferredBoundTightensAnOverwideAnnotation)
+{
+    // Annotated 100, provable worst case 9: the facts-aware walk must
+    // budget the tighter inferred bound.
+    const auto loop = [](unsigned annotation) {
+        return withIsr([annotation](Assembler &a) {
+            a.li(T0, 10);
+            a.label("loop");
+            a.addi(T0, T0, -1);
+            a.loopBound(annotation);
+            a.bnez(T0, "loop");
+            a.mret();
+        });
+    };
+    const Program loose = loop(100);
+    const Program exact = loop(9);
+
+    WcetAnalyzer an(loose, RtosUnitConfig::vanilla());
+    an.setFacts(deriveAbsintFacts(loose));
+    EXPECT_EQ(an.analyzeIsr().totalCycles, isrWcet(exact));
+}
+
+TEST(WcetFacts, GoldenInferredNeverLoosensAnyMatrixPoint)
+{
+    // Acceptance pin over the whole generated matrix: applying the
+    // derived facts may only tighten (or match) the annotation-only
+    // WCET, at every paper configuration x workload point.
+    unsigned points = 0;
+    forEachGeneratedProgram(
+        [&](const LintPoint &point) {
+            WcetAnalyzer plain(point.program, point.unit);
+            const std::uint64_t base = plain.analyzeIsr().totalCycles;
+
+            WcetAnalyzer facts(point.program, point.unit);
+            facts.setFacts(deriveAbsintFacts(point.program));
+            const std::uint64_t derived = facts.analyzeIsr().totalCycles;
+
+            EXPECT_LE(derived, base)
+                << point.unit.name() << "/" << point.workload;
+            EXPECT_GT(derived, 0u)
+                << point.unit.name() << "/" << point.workload;
+            ++points;
+        },
+        /*include_hwsync=*/false);
+    EXPECT_EQ(points, 12u * 7u);
 }
 
 } // namespace
