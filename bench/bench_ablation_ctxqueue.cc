@@ -30,6 +30,7 @@ main(int argc, char **argv)
 {
     unsigned threads = 1;
     bool no_fast_forward = false;
+    bool no_predecode = false;
     std::string out_path;
     ArgParser parser("Ablation: NaxRiscv LSU ctxQueue depth vs switch "
                      "latency");
@@ -37,6 +38,8 @@ main(int argc, char **argv)
     parser.addString("--out", &out_path, "JSONL output path");
     parser.addFlag("--no-fast-forward", &no_fast_forward,
                    "tick every cycle (reference mode)");
+    parser.addFlag("--no-predecode", &no_predecode,
+                   "decode from memory on every fetch");
     parser.parse(argc, argv);
     const bool fast_forward = !no_fast_forward;
     setQuiet(true);
@@ -50,6 +53,7 @@ main(int argc, char **argv)
 
     SweepRunner runner(threads);
     runner.setFastForward(fast_forward);
+    runner.setPredecode(!no_predecode);
     const auto results = runner.run(spec);
 
     std::printf("Ablation: ctxQueue depth on NaxRiscv (SLT), mean "

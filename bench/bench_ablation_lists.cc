@@ -29,6 +29,7 @@ main(int argc, char **argv)
 {
     unsigned threads = 1;
     bool no_fast_forward = false;
+    bool no_predecode = false;
     std::string out_path;
     ArgParser parser("Ablation: hardware list length vs switch latency "
                      "on CV32E40P (T)");
@@ -36,6 +37,8 @@ main(int argc, char **argv)
     parser.addString("--out", &out_path, "JSONL output path");
     parser.addFlag("--no-fast-forward", &no_fast_forward,
                    "tick every cycle (reference mode)");
+    parser.addFlag("--no-predecode", &no_predecode,
+                   "decode from memory on every fetch");
     parser.parse(argc, argv);
     const bool fast_forward = !no_fast_forward;
     setQuiet(true);
@@ -52,6 +55,7 @@ main(int argc, char **argv)
 
     SweepRunner runner(threads);
     runner.setFastForward(fast_forward);
+    runner.setPredecode(!no_predecode);
     const auto results = runner.run(spec);
 
     std::printf("Ablation: hardware list length on CV32E40P (T), "

@@ -18,11 +18,13 @@
  * Usage: bench_fig9_latency [--iterations N] [--per-workload]
  *                           [--threads N] [--out results.jsonl]
  *                           [--trace trace.jsonl]
- *                           [--no-fast-forward] [--timing]
+ *                           [--no-fast-forward] [--no-predecode]
+ *                           [--timing]
  *
  * --no-fast-forward forces the per-cycle reference mode of the
- * simulation kernel (byte-identical results, much slower); --timing
- * adds the nondeterministic wall_ms/mips fields to --out lines.
+ * simulation kernel and --no-predecode disables the decode-once text
+ * image (both byte-identical results, just slower); --timing adds the
+ * nondeterministic wall_ms/mips fields to --out lines.
  */
 
 #include <algorithm>
@@ -46,6 +48,7 @@ main(int argc, char **argv)
     unsigned threads = 1;
     bool per_workload = false;
     bool no_fast_forward = false;
+    bool no_predecode = false;
     bool include_timing = false;
     std::string out_path;
     std::string trace_path;
@@ -61,6 +64,8 @@ main(int argc, char **argv)
                    "print one table per workload");
     parser.addFlag("--no-fast-forward", &no_fast_forward,
                    "tick every cycle (reference mode)");
+    parser.addFlag("--no-predecode", &no_predecode,
+                   "decode from memory on every fetch");
     parser.addFlag("--timing", &include_timing,
                    "include wall-clock timing in the output");
     parser.parse(argc, argv);
@@ -79,6 +84,7 @@ main(int argc, char **argv)
     // identical by construction (see tests/test_differential.cc), the
     // knob exists to prove exactly that and to debug the kernel.
     runner.setFastForward(fast_forward);
+    runner.setPredecode(!no_predecode);
     const auto results = runner.run(spec, capture_trace);
 
     std::printf("Figure 9: context-switch latencies (cycles), "

@@ -41,10 +41,8 @@ immJ(Word raw)
     return sext(v, 21);
 }
 
-} // namespace
-
 DecodedInsn
-decode(Word raw)
+decodeFields(Word raw)
 {
     DecodedInsn d;
     d.raw = raw;
@@ -218,6 +216,21 @@ decode(Word raw)
         break;
     }
     d.op = Op::kInvalid;
+    return d;
+}
+
+} // namespace
+
+DecodedInsn
+decode(Word raw)
+{
+    DecodedInsn d = decodeFields(raw);
+    // Pre-decode the control fields once so the timing models consume
+    // plain loads instead of per-fetch classification switches.
+    d.cls = classOf(d.op);
+    d.useRs1 = readsRs1(d.op);
+    d.useRs2 = readsRs2(d.op);
+    d.hasRd = writesRd(d.op);
     return d;
 }
 

@@ -10,6 +10,7 @@
 #ifndef RTU_ASM_INSN_HH
 #define RTU_ASM_INSN_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -65,6 +66,9 @@ enum class Op : std::uint8_t {
     kInvalid,
 };
 
+/** Dense opcode count (indexes the executor's dispatch table). */
+constexpr std::size_t kNumOps = static_cast<std::size_t>(Op::kInvalid) + 1;
+
 /** Coarse classes used by timing models and the WCET analyzer. */
 enum class InsnClass : std::uint8_t {
     kAlu,      ///< integer ALU, LUI/AUIPC
@@ -89,6 +93,15 @@ struct DecodedInsn
     SWord imm = 0;        ///< sign-extended immediate (branch/jump offsets)
     std::uint16_t csr = 0; ///< CSR address for Zicsr ops
     Word raw = 0;          ///< original encoding
+
+    /** Pre-decoded control fields, filled by decode(). Pure functions
+     *  of op (classOf/readsRs1/readsRs2/writesRd) stored in the
+     *  decoded form so the timing models read a field instead of
+     *  re-running the classification switches on every fetch. */
+    InsnClass cls = InsnClass::kAlu;  ///< classOf(kInvalid)
+    bool useRs1 = false;
+    bool useRs2 = false;
+    bool hasRd = false;
 
     bool valid() const { return op != Op::kInvalid; }
 };

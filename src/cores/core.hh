@@ -17,6 +17,7 @@
 #include "sim/irq.hh"
 #include "sim/kernel.hh"
 #include "sim/mem.hh"
+#include "sim/predecode.hh"
 
 namespace rtu {
 
@@ -41,6 +42,14 @@ struct CoreStats
     std::uint64_t stallCycles = 0;
     std::uint64_t branchMispredicts = 0;
     std::uint64_t cacheMisses = 0;
+    /** Front-end: fetches served from the predecoded image. */
+    std::uint64_t fetchPredecoded = 0;
+    /** Front-end: fetches through the memory system (image off, wild
+     *  jump out of text, or misaligned pc). */
+    std::uint64_t fetchSlowPath = 0;
+    /** Text-range writes that re-decoded image words. Accounted at
+     *  the simulation level (the image is shared, not per-core). */
+    std::uint64_t textInvalidations = 0;
 };
 
 class Core : public Clocked
@@ -54,11 +63,14 @@ class Core : public Clocked
         IrqLines *irq = nullptr;
         SharedPort *dmemPort = nullptr;
         Clint *clint = nullptr;
+        /** Decode-once text image; nullptr = always fetch via mem. */
+        const PredecodedImage *predecode = nullptr;
     };
 
     explicit Core(const Env &env)
         : state_(*env.state), exec_(*env.exec), mem_(*env.mem),
-          irq_(*env.irq), dmemPort_(*env.dmemPort), clint_(*env.clint)
+          irq_(*env.irq), dmemPort_(*env.dmemPort), clint_(*env.clint),
+          predecode_(env.predecode)
     {}
     virtual ~Core() = default;
 
@@ -72,10 +84,27 @@ class Core : public Clocked
     const CoreStats &stats() const { return stats_; }
 
   protected:
-    /** Fetch and decode the instruction at @p pc (Harvard I-side). */
+    /**
+     * Fetch and decode the instruction at @p pc (Harvard I-side).
+     * Text-segment fetches hit the predecoded image — one bounds
+     * check and an array load instead of a MemSystem dispatch plus a
+     * field decode per retired instruction. Anything else (image
+     * disabled, wild jump out of text, misaligned pc) takes the
+     * decode-from-memory slow path.
+     */
     DecodedInsn
     fetch(Addr pc)
     {
+        if (predecode_ && predecode_->covers(pc)) {
+            ++stats_.fetchPredecoded;
+            return predecode_->at(pc);
+        }
+        ++stats_.fetchSlowPath;
+        // A wild jump (e.g. from a fault-corrupted context) is the
+        // guest's architectural error, not a simulator bug: raise the
+        // typed fault so Simulation::run ends the run as kGuestFault.
+        if (!mem_.deviceAt(pc))
+            guest_fault("fetch at unmapped address 0x%08x", pc);
         return decode(mem_.read32(pc));
     }
 
@@ -100,6 +129,7 @@ class Core : public Clocked
     IrqLines &irq_;
     SharedPort &dmemPort_;
     Clint &clint_;
+    const PredecodedImage *predecode_;
     CoreListener *listener_ = nullptr;
     CoreStats stats_;
 };

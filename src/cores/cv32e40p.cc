@@ -28,7 +28,7 @@ Cv32e40pCore::stalledByUnit(const DecodedInsn &insn) const
 unsigned
 Cv32e40pCore::costOf(const DecodedInsn &insn, const ExecResult &res) const
 {
-    switch (classOf(insn.op)) {
+    switch (insn.cls) {
       case InsnClass::kJump:
         return params_.jumpCycles;
       case InsnClass::kBranch:
@@ -78,6 +78,8 @@ statsDelta(const CoreStats &a, const CoreStats &b)
     d.stallCycles = a.stallCycles - b.stallCycles;
     d.branchMispredicts = a.branchMispredicts - b.branchMispredicts;
     d.cacheMisses = a.cacheMisses - b.cacheMisses;
+    d.fetchPredecoded = a.fetchPredecoded - b.fetchPredecoded;
+    d.fetchSlowPath = a.fetchSlowPath - b.fetchSlowPath;
     return d;
 }
 
@@ -92,6 +94,8 @@ statsAccumulate(CoreStats &s, const CoreStats &d, std::uint64_t k)
     s.stallCycles += k * d.stallCycles;
     s.branchMispredicts += k * d.branchMispredicts;
     s.cacheMisses += k * d.cacheMisses;
+    s.fetchPredecoded += k * d.fetchPredecoded;
+    s.fetchSlowPath += k * d.fetchSlowPath;
 }
 
 } // namespace
@@ -317,7 +321,7 @@ Cv32e40pCore::tick(Cycle now)
     // (or extend) periodicity before the instruction executes.
     strideVisit(pc, now);
 
-    const InsnClass cls = classOf(insn.op);
+    const InsnClass cls = insn.cls;
     if (!stridePure(cls))
         strideImpure();
 
@@ -326,8 +330,8 @@ Cv32e40pCore::tick(Cycle now)
     unsigned extra = 0;
     if (lastWasLoad_ && lastLoadRd_ != 0) {
         const bool uses =
-            (readsRs1(insn.op) && insn.rs1 == lastLoadRd_) ||
-            (readsRs2(insn.op) && insn.rs2 == lastLoadRd_);
+            (insn.useRs1 && insn.rs1 == lastLoadRd_) ||
+            (insn.useRs2 && insn.rs2 == lastLoadRd_);
         if (uses)
             extra = params_.loadUseStall;
     }

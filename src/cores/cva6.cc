@@ -136,9 +136,9 @@ Cva6Core::issue(Cycle now)
 
     // Scoreboard RAW check: sources must have completed.
     Cycle ops_ready = now;
-    if (readsRs1(insn.op))
+    if (insn.useRs1)
         ops_ready = std::max(ops_ready, regReadyAt_[insn.rs1]);
-    if (readsRs2(insn.op))
+    if (insn.useRs2)
         ops_ready = std::max(ops_ready, regReadyAt_[insn.rs2]);
     if (ops_ready > now) {
         issueReadyAt_ = ops_ready;
@@ -146,7 +146,7 @@ Cva6Core::issue(Cycle now)
         return;
     }
 
-    const InsnClass cls = classOf(insn.op);
+    const InsnClass cls = insn.cls;
 
     // Structural: a full write-through buffer blocks further stores.
     if (cls == InsnClass::kStore && storeBuf_ >= params_.storeBufferDepth) {
@@ -248,7 +248,7 @@ Cva6Core::issue(Cycle now)
         break;
     }
 
-    if (writesRd(insn.op) && insn.rd != 0)
+    if (insn.hasRd && insn.rd != 0)
         regReadyAt_[insn.rd] = complete;
     drainAt_ = std::max(drainAt_, complete);
     issueReadyAt_ = std::max(issue_next, now + 1);

@@ -113,32 +113,43 @@ Executor::takeTrap(Word cause, Addr epc)
         unit_->onTrapEntry(cause);
 }
 
-ExecResult
-Executor::execute(const DecodedInsn &d, Addr pc)
+// ---- per-family handlers ---------------------------------------------------
+//
+// One handler per op family; Executor::execute (inline in the header)
+// looks the handler up in a flat table indexed by Op, so the dispatch
+// path is a single indirect call instead of a monolithic switch.
+
+void
+Executor::execUpper(Executor &e, const DecodedInsn &d, Addr pc,
+                    ExecResult &res)
 {
-    ExecResult res;
-    res.nextPc = pc + 4;
-    ArchState &s = state_;
+    (void)res;
+    if (d.op == Op::kLui)
+        e.state_.setReg(d.rd, static_cast<Word>(d.imm) << 12);
+    else
+        e.state_.setReg(d.rd, pc + (static_cast<Word>(d.imm) << 12));
+}
 
-    const Word rs1 = s.reg(d.rs1);
-    const Word rs2 = s.reg(d.rs2);
-
-    switch (d.op) {
-      case Op::kLui:
-        s.setReg(d.rd, static_cast<Word>(d.imm) << 12);
-        break;
-      case Op::kAuipc:
-        s.setReg(d.rd, pc + (static_cast<Word>(d.imm) << 12));
-        break;
-      case Op::kJal:
-        s.setReg(d.rd, pc + 4);
+void
+Executor::execJump(Executor &e, const DecodedInsn &d, Addr pc,
+                   ExecResult &res)
+{
+    const Word rs1 = e.state_.reg(d.rs1);
+    e.state_.setReg(d.rd, pc + 4);
+    if (d.op == Op::kJal)
         res.nextPc = pc + static_cast<Word>(d.imm);
-        break;
-      case Op::kJalr:
-        s.setReg(d.rd, pc + 4);
+    else
         res.nextPc = (rs1 + static_cast<Word>(d.imm)) & ~Word{1};
-        break;
+}
 
+void
+Executor::execBranch(Executor &e, const DecodedInsn &d, Addr pc,
+                     ExecResult &res)
+{
+    (void)pc;
+    const Word rs1 = e.state_.reg(d.rs1);
+    const Word rs2 = e.state_.reg(d.rs2);
+    switch (d.op) {
       case Op::kBeq: res.branchTaken = rs1 == rs2; break;
       case Op::kBne: res.branchTaken = rs1 != rs2; break;
       case Op::kBlt:
@@ -148,42 +159,57 @@ Executor::execute(const DecodedInsn &d, Addr pc)
         res.branchTaken = static_cast<SWord>(rs1) >= static_cast<SWord>(rs2);
         break;
       case Op::kBltu: res.branchTaken = rs1 < rs2; break;
-      case Op::kBgeu: res.branchTaken = rs1 >= rs2; break;
+      default: res.branchTaken = rs1 >= rs2; break;  // kBgeu
+    }
+}
 
-      case Op::kLb: case Op::kLh: case Op::kLw:
-      case Op::kLbu: case Op::kLhu: {
-        const Addr addr = rs1 + static_cast<Word>(d.imm);
-        res.memAccess = true;
-        res.memAddr = addr;
-        Word v = 0;
-        switch (d.op) {
-          case Op::kLb:
-            v = static_cast<Word>(sext(mem_.read(addr, MemSize::kByte), 8));
-            break;
-          case Op::kLh:
-            v = static_cast<Word>(sext(mem_.read(addr, MemSize::kHalf), 16));
-            break;
-          case Op::kLw: v = mem_.read(addr, MemSize::kWord); break;
-          case Op::kLbu: v = mem_.read(addr, MemSize::kByte); break;
-          case Op::kLhu: v = mem_.read(addr, MemSize::kHalf); break;
-          default: break;
-        }
-        s.setReg(d.rd, v);
+void
+Executor::execLoad(Executor &e, const DecodedInsn &d, Addr pc,
+                   ExecResult &res)
+{
+    (void)pc;
+    const Addr addr = e.state_.reg(d.rs1) + static_cast<Word>(d.imm);
+    res.memAccess = true;
+    res.memAddr = addr;
+    Word v = 0;
+    switch (d.op) {
+      case Op::kLb:
+        v = static_cast<Word>(sext(e.mem_.read(addr, MemSize::kByte), 8));
         break;
-      }
-
-      case Op::kSb: case Op::kSh: case Op::kSw: {
-        const Addr addr = rs1 + static_cast<Word>(d.imm);
-        res.memAccess = true;
-        res.memIsStore = true;
-        res.memAddr = addr;
-        const MemSize sz = d.op == Op::kSb   ? MemSize::kByte
-                           : d.op == Op::kSh ? MemSize::kHalf
-                                             : MemSize::kWord;
-        mem_.write(addr, rs2, sz);
+      case Op::kLh:
+        v = static_cast<Word>(sext(e.mem_.read(addr, MemSize::kHalf), 16));
         break;
-      }
+      case Op::kLw: v = e.mem_.read(addr, MemSize::kWord); break;
+      case Op::kLbu: v = e.mem_.read(addr, MemSize::kByte); break;
+      default: v = e.mem_.read(addr, MemSize::kHalf); break;  // kLhu
+    }
+    e.state_.setReg(d.rd, v);
+}
 
+void
+Executor::execStore(Executor &e, const DecodedInsn &d, Addr pc,
+                    ExecResult &res)
+{
+    (void)pc;
+    const Addr addr = e.state_.reg(d.rs1) + static_cast<Word>(d.imm);
+    res.memAccess = true;
+    res.memIsStore = true;
+    res.memAddr = addr;
+    const MemSize sz = d.op == Op::kSb   ? MemSize::kByte
+                       : d.op == Op::kSh ? MemSize::kHalf
+                                         : MemSize::kWord;
+    e.mem_.write(addr, e.state_.reg(d.rs2), sz);
+}
+
+void
+Executor::execAluImm(Executor &e, const DecodedInsn &d, Addr pc,
+                     ExecResult &res)
+{
+    (void)pc;
+    (void)res;
+    ArchState &s = e.state_;
+    const Word rs1 = s.reg(d.rs1);
+    switch (d.op) {
       case Op::kAddi: s.setReg(d.rd, rs1 + static_cast<Word>(d.imm)); break;
       case Op::kSlti:
         s.setReg(d.rd, static_cast<SWord>(rs1) < d.imm ? 1 : 0);
@@ -196,11 +222,23 @@ Executor::execute(const DecodedInsn &d, Addr pc)
       case Op::kAndi: s.setReg(d.rd, rs1 & static_cast<Word>(d.imm)); break;
       case Op::kSlli: s.setReg(d.rd, rs1 << (d.imm & 31)); break;
       case Op::kSrli: s.setReg(d.rd, rs1 >> (d.imm & 31)); break;
-      case Op::kSrai:
+      default:  // kSrai
         s.setReg(d.rd,
                  static_cast<Word>(static_cast<SWord>(rs1) >> (d.imm & 31)));
         break;
+    }
+}
 
+void
+Executor::execAluReg(Executor &e, const DecodedInsn &d, Addr pc,
+                     ExecResult &res)
+{
+    (void)pc;
+    (void)res;
+    ArchState &s = e.state_;
+    const Word rs1 = s.reg(d.rs1);
+    const Word rs2 = s.reg(d.rs2);
+    switch (d.op) {
       case Op::kAdd: s.setReg(d.rd, rs1 + rs2); break;
       case Op::kSub: s.setReg(d.rd, rs1 - rs2); break;
       case Op::kSll: s.setReg(d.rd, rs1 << (rs2 & 31)); break;
@@ -216,8 +254,20 @@ Executor::execute(const DecodedInsn &d, Addr pc)
                  static_cast<Word>(static_cast<SWord>(rs1) >> (rs2 & 31)));
         break;
       case Op::kOr: s.setReg(d.rd, rs1 | rs2); break;
-      case Op::kAnd: s.setReg(d.rd, rs1 & rs2); break;
+      default: s.setReg(d.rd, rs1 & rs2); break;  // kAnd
+    }
+}
 
+void
+Executor::execMulDiv(Executor &e, const DecodedInsn &d, Addr pc,
+                     ExecResult &res)
+{
+    (void)pc;
+    (void)res;
+    ArchState &s = e.state_;
+    const Word rs1 = s.reg(d.rs1);
+    const Word rs2 = s.reg(d.rs2);
+    switch (d.op) {
       case Op::kMul: s.setReg(d.rd, rs1 * rs2); break;
       case Op::kMulh:
         s.setReg(d.rd,
@@ -252,10 +302,17 @@ Executor::execute(const DecodedInsn &d, Addr pc)
                                        static_cast<SWord>(rs2)));
         }
         break;
-      case Op::kRemu:
+      default:  // kRemu
         s.setReg(d.rd, rs2 == 0 ? rs1 : rs1 % rs2);
         break;
+    }
+}
 
+void
+Executor::execSystem(Executor &e, const DecodedInsn &d, Addr pc,
+                     ExecResult &res)
+{
+    switch (d.op) {
       case Op::kFence:
         break;
       case Op::kEcall:
@@ -267,95 +324,154 @@ Executor::execute(const DecodedInsn &d, Addr pc)
       case Op::kWfi:
         res.isWfi = true;
         break;
-      case Op::kMret: {
-        Csrs &c = s.csrs;
+      default: {  // kMret
+        Csrs &c = e.state_.csrs;
         const bool mpie = (c.mstatus & mstatus::kMpie) != 0;
         c.mstatus &= ~(mstatus::kMie | mstatus::kMpie);
         if (mpie)
             c.mstatus |= mstatus::kMie;
         c.mstatus |= mstatus::kMpie;
         res.isMret = true;
-        if (unit_)
-            unit_->onMretExecuted();
+        if (e.unit_)
+            e.unit_->onMretExecuted();
         // The restore FSM may have just written mepc: read it after
         // the unit hook.
         res.nextPc = c.mepc;
         break;
       }
+    }
+}
 
+void
+Executor::execCsr(Executor &e, const DecodedInsn &d, Addr pc,
+                  ExecResult &res)
+{
+    (void)pc;
+    (void)res;
+    ArchState &s = e.state_;
+    const Word rs1 = s.reg(d.rs1);
+    switch (d.op) {
       case Op::kCsrrw: {
-        const Word old = d.rd != 0 ? readCsr(d.csr) : 0;
-        writeCsr(d.csr, rs1);
+        const Word old = d.rd != 0 ? e.readCsr(d.csr) : 0;
+        e.writeCsr(d.csr, rs1);
         s.setReg(d.rd, old);
         break;
       }
       case Op::kCsrrs: {
-        const Word old = readCsr(d.csr);
+        const Word old = e.readCsr(d.csr);
         if (d.rs1 != 0)
-            writeCsr(d.csr, old | rs1);
+            e.writeCsr(d.csr, old | rs1);
         s.setReg(d.rd, old);
         break;
       }
       case Op::kCsrrc: {
-        const Word old = readCsr(d.csr);
+        const Word old = e.readCsr(d.csr);
         if (d.rs1 != 0)
-            writeCsr(d.csr, old & ~rs1);
+            e.writeCsr(d.csr, old & ~rs1);
         s.setReg(d.rd, old);
         break;
       }
       case Op::kCsrrwi: {
-        const Word old = d.rd != 0 ? readCsr(d.csr) : 0;
-        writeCsr(d.csr, static_cast<Word>(d.imm));
+        const Word old = d.rd != 0 ? e.readCsr(d.csr) : 0;
+        e.writeCsr(d.csr, static_cast<Word>(d.imm));
         s.setReg(d.rd, old);
         break;
       }
       case Op::kCsrrsi: {
-        const Word old = readCsr(d.csr);
+        const Word old = e.readCsr(d.csr);
         if (d.imm != 0)
-            writeCsr(d.csr, old | static_cast<Word>(d.imm));
+            e.writeCsr(d.csr, old | static_cast<Word>(d.imm));
         s.setReg(d.rd, old);
         break;
       }
-      case Op::kCsrrci: {
-        const Word old = readCsr(d.csr);
+      default: {  // kCsrrci
+        const Word old = e.readCsr(d.csr);
         if (d.imm != 0)
-            writeCsr(d.csr, old & ~static_cast<Word>(d.imm));
+            e.writeCsr(d.csr, old & ~static_cast<Word>(d.imm));
         s.setReg(d.rd, old);
         break;
       }
-
-      case Op::kSetContextId:
-      case Op::kGetHwSched:
-      case Op::kAddReady:
-      case Op::kAddDelay:
-      case Op::kRmTask:
-      case Op::kSwitchRf:
-      case Op::kSemTake:
-      case Op::kSemGive:
-        if (!unit_)
-            panic("custom instruction %s without an RTOSUnit at pc "
-                  "0x%08x", opName(d.op), pc);
-        switch (d.op) {
-          case Op::kSetContextId: unit_->setContextId(rs1); break;
-          case Op::kGetHwSched: s.setReg(d.rd, unit_->getHwSched()); break;
-          case Op::kAddReady: unit_->addReady(rs1, rs2); break;
-          case Op::kAddDelay: unit_->addDelay(rs1, rs2); break;
-          case Op::kRmTask: unit_->rmTask(rs1); break;
-          case Op::kSwitchRf: unit_->switchRf(); break;
-          case Op::kSemTake: s.setReg(d.rd, unit_->semTake(rs1)); break;
-          case Op::kSemGive: s.setReg(d.rd, unit_->semGive(rs1)); break;
-          default: break;
-        }
-        break;
-
-      case Op::kInvalid:
-        guest_fault("illegal instruction 0x%08x at pc 0x%08x (%s)", d.raw, pc,
-              disassemble(d).c_str());
     }
+}
 
-    if (res.branchTaken)
-        res.nextPc = pc + static_cast<Word>(d.imm);
-    return res;
+void
+Executor::execCustom(Executor &e, const DecodedInsn &d, Addr pc,
+                     ExecResult &res)
+{
+    (void)res;
+    if (!e.unit_)
+        panic("custom instruction %s without an RTOSUnit at pc "
+              "0x%08x", opName(d.op), pc);
+    ArchState &s = e.state_;
+    const Word rs1 = s.reg(d.rs1);
+    const Word rs2 = s.reg(d.rs2);
+    RtosUnitPort *unit = e.unit_;
+    switch (d.op) {
+      case Op::kSetContextId: unit->setContextId(rs1); break;
+      case Op::kGetHwSched: s.setReg(d.rd, unit->getHwSched()); break;
+      case Op::kAddReady: unit->addReady(rs1, rs2); break;
+      case Op::kAddDelay: unit->addDelay(rs1, rs2); break;
+      case Op::kRmTask: unit->rmTask(rs1); break;
+      case Op::kSwitchRf: unit->switchRf(); break;
+      case Op::kSemTake: s.setReg(d.rd, unit->semTake(rs1)); break;
+      default: s.setReg(d.rd, unit->semGive(rs1)); break;  // kSemGive
+    }
+}
+
+void
+Executor::execInvalid(Executor &e, const DecodedInsn &d, Addr pc,
+                      ExecResult &res)
+{
+    (void)e;
+    (void)res;
+    guest_fault("illegal instruction 0x%08x at pc 0x%08x (%s)", d.raw, pc,
+                disassemble(d).c_str());
+}
+
+const Executor::HandlerTable &
+Executor::handlers()
+{
+    // Populated once at startup; every op family claims its opcodes.
+    static const HandlerTable table = [] {
+        HandlerTable t;
+        t.fill(&Executor::execInvalid);
+        const auto set = [&t](Op op, Handler h) {
+            t[static_cast<std::size_t>(op)] = h;
+        };
+        set(Op::kLui, &Executor::execUpper);
+        set(Op::kAuipc, &Executor::execUpper);
+        set(Op::kJal, &Executor::execJump);
+        set(Op::kJalr, &Executor::execJump);
+        for (Op op : {Op::kBeq, Op::kBne, Op::kBlt, Op::kBge, Op::kBltu,
+                      Op::kBgeu})
+            set(op, &Executor::execBranch);
+        for (Op op : {Op::kLb, Op::kLh, Op::kLw, Op::kLbu, Op::kLhu})
+            set(op, &Executor::execLoad);
+        for (Op op : {Op::kSb, Op::kSh, Op::kSw})
+            set(op, &Executor::execStore);
+        for (Op op : {Op::kAddi, Op::kSlti, Op::kSltiu, Op::kXori,
+                      Op::kOri, Op::kAndi, Op::kSlli, Op::kSrli,
+                      Op::kSrai})
+            set(op, &Executor::execAluImm);
+        for (Op op : {Op::kAdd, Op::kSub, Op::kSll, Op::kSlt, Op::kSltu,
+                      Op::kXor, Op::kSrl, Op::kSra, Op::kOr, Op::kAnd})
+            set(op, &Executor::execAluReg);
+        for (Op op : {Op::kMul, Op::kMulh, Op::kMulhsu, Op::kMulhu,
+                      Op::kDiv, Op::kDivu, Op::kRem, Op::kRemu})
+            set(op, &Executor::execMulDiv);
+        for (Op op : {Op::kFence, Op::kEcall, Op::kEbreak, Op::kMret,
+                      Op::kWfi})
+            set(op, &Executor::execSystem);
+        for (Op op : {Op::kCsrrw, Op::kCsrrs, Op::kCsrrc, Op::kCsrrwi,
+                      Op::kCsrrsi, Op::kCsrrci})
+            set(op, &Executor::execCsr);
+        for (Op op : {Op::kSetContextId, Op::kGetHwSched, Op::kAddReady,
+                      Op::kAddDelay, Op::kRmTask, Op::kSwitchRf,
+                      Op::kSemTake, Op::kSemGive})
+            set(op, &Executor::execCustom);
+        return t;
+    }();
+    return table;
 }
 
 } // namespace rtu

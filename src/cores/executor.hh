@@ -8,6 +8,8 @@
 #ifndef RTU_CORES_EXECUTOR_HH
 #define RTU_CORES_EXECUTOR_HH
 
+#include <array>
+
 #include "arch_state.hh"
 #include "asm/insn.hh"
 #include "common/types.hh"
@@ -48,9 +50,21 @@ class Executor
     /**
      * Apply the semantics of @p insn located at @p pc. Stall conditions
      * (SWITCH_RF / GET_HW_SCHED / mret) must already be resolved by
-     * the caller.
+     * the caller. Dispatch is a per-opcode handler-table load (one
+     * handler per op family), so together with the predecoded image
+     * the decode -> dispatch path is two indexed loads.
      */
-    ExecResult execute(const DecodedInsn &insn, Addr pc);
+    ExecResult
+    execute(const DecodedInsn &insn, Addr pc)
+    {
+        ExecResult res;
+        res.nextPc = pc + 4;
+        handlers()[static_cast<std::size_t>(insn.op)](*this, insn, pc,
+                                                      res);
+        if (res.branchTaken)
+            res.nextPc = pc + static_cast<Word>(insn.imm);
+        return res;
+    }
 
     /**
      * Take a trap: save pc into mepc, update mstatus/mcause, redirect
@@ -83,6 +97,41 @@ class Executor
     Word pendingCause() const;
 
   private:
+    /** One entry per Op; applies the op family's semantics in place. */
+    using Handler = void (*)(Executor &, const DecodedInsn &, Addr,
+                             ExecResult &);
+    using HandlerTable = std::array<Handler, kNumOps>;
+
+    /** The dispatch table, populated once at startup. */
+    static const HandlerTable &handlers();
+
+    // Per-family handlers (static so they sit in a flat table; they
+    // reach the executor's state through the explicit receiver).
+    static void execUpper(Executor &, const DecodedInsn &, Addr,
+                          ExecResult &);
+    static void execJump(Executor &, const DecodedInsn &, Addr,
+                         ExecResult &);
+    static void execBranch(Executor &, const DecodedInsn &, Addr,
+                           ExecResult &);
+    static void execLoad(Executor &, const DecodedInsn &, Addr,
+                         ExecResult &);
+    static void execStore(Executor &, const DecodedInsn &, Addr,
+                          ExecResult &);
+    static void execAluImm(Executor &, const DecodedInsn &, Addr,
+                           ExecResult &);
+    static void execAluReg(Executor &, const DecodedInsn &, Addr,
+                           ExecResult &);
+    static void execMulDiv(Executor &, const DecodedInsn &, Addr,
+                           ExecResult &);
+    static void execSystem(Executor &, const DecodedInsn &, Addr,
+                           ExecResult &);
+    static void execCsr(Executor &, const DecodedInsn &, Addr,
+                        ExecResult &);
+    static void execCustom(Executor &, const DecodedInsn &, Addr,
+                           ExecResult &);
+    static void execInvalid(Executor &, const DecodedInsn &, Addr,
+                            ExecResult &);
+
     ArchState &state_;
     MemSystem &mem_;
     IrqLines &irq_;

@@ -261,12 +261,12 @@ NaxCore::dispatchOne(Cycle now)
 
     // Operand readiness via renamed dataflow (RAW only).
     Cycle ops_ready = now;
-    if (readsRs1(insn.op))
+    if (insn.useRs1)
         ops_ready = std::max(ops_ready, regReadyAt_[insn.rs1]);
-    if (readsRs2(insn.op))
+    if (insn.useRs2)
         ops_ready = std::max(ops_ready, regReadyAt_[insn.rs2]);
 
-    const InsnClass cls = classOf(insn.op);
+    const InsnClass cls = insn.cls;
 
     unsigned div_bits = 0;
     if (cls == InsnClass::kDiv) {
@@ -422,7 +422,7 @@ NaxCore::dispatchOne(Cycle now)
     rob_.push_back(commit);
     drainAt_ = commit;
 
-    if (writesRd(insn.op) && insn.rd != 0)
+    if (insn.hasRd && insn.rd != 0)
         regReadyAt_[insn.rd] = complete;
 
     return !block_group;

@@ -30,6 +30,7 @@ runWorkload(CoreKind core, const RtosUnitConfig &unit,
     sconfig.maxCycles = winfo.maxCycles;
     sconfig.naxCtxQueueEntries = opts.naxCtxQueueEntries;
     sconfig.fastForward = opts.fastForward;
+    sconfig.predecode = opts.predecode;
     sconfig.watchdogCycles = opts.watchdogCycles;
 
     Simulation sim(sconfig, program);

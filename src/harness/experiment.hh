@@ -73,6 +73,8 @@ struct RunOptions
     std::uint64_t seed = 0;
     /** Event-driven fast-forward; false = per-cycle reference mode. */
     bool fastForward = true;
+    /** Decode-once text image (bit-exact perf knob; see SimConfig). */
+    bool predecode = true;
     /** No-retire watchdog threshold; 0 disables. */
     std::uint64_t watchdogCycles = 2'000'000;
     /**

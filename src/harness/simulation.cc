@@ -53,6 +53,12 @@ Simulation::Simulation(const SimConfig &config, const Program &program)
     dmem_.loadWords(program.dataBase, program.data);
     taskIdAddr_ = program.symbol("currentTaskId");
 
+    // Decode the whole text segment once; per-cycle fetch becomes an
+    // array index. Stores and injected faults landing in text re-decode
+    // the touched words through the write observer.
+    if (config_.predecode && !program.text.empty())
+        predecode_.install(mem_, program.textBase, program.text.size());
+
     state_.setPc(program.textBase);
     exec_.setClock(kernel_.clockPtr());
     hostio_.bindClock(kernel_.clockPtr());
@@ -66,6 +72,8 @@ Simulation::Simulation(const SimConfig &config, const Program &program)
     env.irq = &irq_;
     env.dmemPort = &dmemPort_;
     env.clint = &clint_;
+    if (predecode_.installed())
+        env.predecode = &predecode_;
 
     NaxCore *nax = nullptr;
     switch (config_.core) {

@@ -23,6 +23,7 @@
 #include "sim/irq.hh"
 #include "sim/kernel.hh"
 #include "sim/mem.hh"
+#include "sim/predecode.hh"
 #include "sim/switchrec.hh"
 #include "trace/trace.hh"
 
@@ -43,6 +44,11 @@ struct SimConfig
     unsigned naxCtxQueueEntries = 8;
     /** Event-driven fast-forward; false = per-cycle reference mode. */
     bool fastForward = true;
+    /** Decode the text segment once at install and fetch from the
+     *  predecoded image; false = decode from memory every fetch.
+     *  Behavior is bit-exact either way — this only moves decode work
+     *  out of the per-cycle path. */
+    bool predecode = true;
     /** Abort after this many cycles without a retired instruction or
      *  trap (hung-guest diagnostic); 0 disables the watchdog. */
     std::uint64_t watchdogCycles = 2'000'000;
@@ -122,7 +128,16 @@ class Simulation : public CoreListener, public PhaseObserver
     HostIo &hostIo() { return hostio_; }
     SwitchRecorder &recorder() { return recorder_; }
     Core &core() { return *core_; }
-    const CoreStats &coreStats() const { return core_->stats(); }
+
+    /** Core counters plus the simulation-owned front-end counters
+     *  (text invalidations live in the shared predecoded image). */
+    CoreStats
+    coreStats() const
+    {
+        CoreStats s = core_->stats();
+        s.textInvalidations = predecode_.invalidations();
+        return s;
+    }
     RtosUnit *unit() { return unit_.get(); }
     Cv32rtUnit *cv32rtUnit() { return cv32rt_.get(); }
     ArchState &archState() { return state_; }
@@ -191,6 +206,7 @@ class Simulation : public CoreListener, public PhaseObserver
     MemSystem mem_;
     ArchState state_;
     Executor exec_;
+    PredecodedImage predecode_;
     SharedPort dmemPort_;
     SharedPort busPort_;
     PortReset portReset_;

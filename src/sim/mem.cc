@@ -87,6 +87,10 @@ void
 MemSystem::write(Addr addr, Word value, MemSize size)
 {
     route(addr, size, "write")->write(addr, value, size);
+    if (observer_ && addr < watchEnd_ &&
+        addr + static_cast<Addr>(size) > watchBase_) {
+        observer_->memWritten(addr, size);
+    }
 }
 
 } // namespace rtu

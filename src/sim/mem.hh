@@ -64,6 +64,19 @@ class Sram : public MemDevice
 };
 
 /**
+ * Notified after a write into a watched address range completes (the
+ * new bytes are already visible to reads). The predecoded instruction
+ * store uses this to re-decode text words hit by guest stores or
+ * injected memory faults.
+ */
+class MemWriteObserver
+{
+  public:
+    virtual ~MemWriteObserver() = default;
+    virtual void memWritten(Addr addr, MemSize size) = 0;
+};
+
+/**
  * The full system map: routes functional accesses to devices.
  * Timing is the responsibility of the core / RTOSUnit models.
  */
@@ -80,11 +93,27 @@ class MemSystem
 
     MemDevice *deviceAt(Addr addr);
 
+    /**
+     * Watch [@p base, @p base + @p size) for writes; every completed
+     * write overlapping the range invokes @p observer. One watcher
+     * per system (the text segment); nullptr clears it.
+     */
+    void
+    setWriteObserver(Addr base, Addr size, MemWriteObserver *observer)
+    {
+        watchBase_ = base;
+        watchEnd_ = base + size;
+        observer_ = observer;
+    }
+
   private:
     /** Route an access; panic on unmapped or device-straddling. */
     MemDevice *route(Addr addr, MemSize size, const char *what);
 
     std::vector<MemDevice *> devices_;
+    Addr watchBase_ = 0;
+    Addr watchEnd_ = 0;
+    MemWriteObserver *observer_ = nullptr;
 };
 
 /**

@@ -62,7 +62,7 @@ SweepSpec::points() const
 
 SweepResult
 runSweepPoint(const SweepPoint &point, bool capture_trace,
-              bool fast_forward)
+              bool fast_forward, bool predecode)
 {
     SweepResult out;
     out.point = point;
@@ -74,6 +74,7 @@ runSweepPoint(const SweepPoint &point, bool capture_trace,
     opts.naxCtxQueueEntries = point.naxCtxQueueEntries;
     opts.seed = point.seed;
     opts.fastForward = fast_forward;
+    opts.predecode = predecode;
 
     if (capture_trace) {
         std::ostringstream trace;
@@ -131,7 +132,8 @@ SweepRunner::runPoints(const std::vector<SweepPoint> &pts,
 {
     std::vector<SweepResult> results(pts.size());
     forEachIndex(pts.size(), [&](std::size_t i) {
-        results[i] = runSweepPoint(pts[i], capture_trace, fastForward_);
+        results[i] = runSweepPoint(pts[i], capture_trace, fastForward_,
+                                   predecode_);
     });
     return results;
 }
@@ -162,7 +164,11 @@ writeResultsJsonl(std::ostream &os,
            << ",\"status\":\"" << runStatusName(run.status)
            << "\",\"cycles\":" << run.cycles
            << ",\"cycles_ticked\":" << run.throughput.cyclesTicked
-           << ",\"cycles_skipped\":" << run.throughput.cyclesSkipped;
+           << ",\"cycles_skipped\":" << run.throughput.cyclesSkipped
+           << ",\"fetch_predecoded\":" << run.coreStats.fetchPredecoded
+           << ",\"fetch_slow_path\":" << run.coreStats.fetchSlowPath
+           << ",\"text_invalidations\":"
+           << run.coreStats.textInvalidations;
         if (include_timing) {
             // Wall time is nondeterministic; callers wanting the
             // byte-stability contract keep it off (the default).

@@ -121,14 +121,23 @@ class SweepRunner
     void setFastForward(bool enable) { fastForward_ = enable; }
     bool fastForward() const { return fastForward_; }
 
+    /**
+     * Decode-once text image for every point (default on). Like
+     * fast-forward, a runner knob rather than a point field: the image
+     * is bit-exact, so both settings share one point key.
+     */
+    void setPredecode(bool enable) { predecode_ = enable; }
+    bool predecode() const { return predecode_; }
+
   private:
     unsigned threads_;
     bool fastForward_ = true;
+    bool predecode_ = true;
 };
 
 /** Execute a single grid point (what each worker runs). */
 SweepResult runSweepPoint(const SweepPoint &point, bool capture_trace,
-                          bool fast_forward = true);
+                          bool fast_forward = true, bool predecode = true);
 
 /**
  * Serialize one result line per point (JSONL, deterministic). The
