@@ -30,6 +30,7 @@ main(int argc, char **argv)
     unsigned threads = 1;
     bool no_fast_forward = false;
     bool no_predecode = false;
+    bool no_block_exec = false;
     std::string out_path;
     ArgParser parser("Ablation: hardware list length vs switch latency "
                      "on CV32E40P (T)");
@@ -39,6 +40,8 @@ main(int argc, char **argv)
                    "tick every cycle (reference mode)");
     parser.addFlag("--no-predecode", &no_predecode,
                    "decode from memory on every fetch");
+    parser.addFlag("--no-block-exec", &no_block_exec,
+                   "disable superblock execution");
     parser.parse(argc, argv);
     const bool fast_forward = !no_fast_forward;
     setQuiet(true);
@@ -56,6 +59,7 @@ main(int argc, char **argv)
     SweepRunner runner(threads);
     runner.setFastForward(fast_forward);
     runner.setPredecode(!no_predecode);
+    runner.setBlockExec(!no_block_exec);
     const auto results = runner.run(spec);
 
     std::printf("Ablation: hardware list length on CV32E40P (T), "
@@ -86,6 +90,7 @@ main(int argc, char **argv)
         std::ofstream os(out_path);
         if (!os)
             fatal("cannot open --out file '%s'", out_path.c_str());
+        writeResultsHeaderJsonl(os, "ablation_lists");
         writeResultsJsonl(os, results);
         std::printf("results: %s (%zu points)\n", out_path.c_str(),
                     results.size());

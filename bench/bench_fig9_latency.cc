@@ -19,12 +19,14 @@
  *                           [--threads N] [--out results.jsonl]
  *                           [--trace trace.jsonl]
  *                           [--no-fast-forward] [--no-predecode]
- *                           [--timing]
+ *                           [--no-block-exec] [--timing]
  *
  * --no-fast-forward forces the per-cycle reference mode of the
- * simulation kernel and --no-predecode disables the decode-once text
- * image (both byte-identical results, just slower); --timing adds the
- * nondeterministic wall_ms/mips fields to --out lines.
+ * simulation kernel, --no-predecode disables the decode-once text
+ * image and --no-block-exec disables superblock execution (all
+ * byte-identical results, just slower); --timing adds the
+ * nondeterministic wall_ms/mips fields to --out lines. The --out
+ * stream starts with a schema-stamped header line.
  */
 
 #include <algorithm>
@@ -49,6 +51,7 @@ main(int argc, char **argv)
     bool per_workload = false;
     bool no_fast_forward = false;
     bool no_predecode = false;
+    bool no_block_exec = false;
     bool include_timing = false;
     std::string out_path;
     std::string trace_path;
@@ -66,6 +69,8 @@ main(int argc, char **argv)
                    "tick every cycle (reference mode)");
     parser.addFlag("--no-predecode", &no_predecode,
                    "decode from memory on every fetch");
+    parser.addFlag("--no-block-exec", &no_block_exec,
+                   "disable superblock execution");
     parser.addFlag("--timing", &include_timing,
                    "include wall-clock timing in the output");
     parser.parse(argc, argv);
@@ -85,6 +90,7 @@ main(int argc, char **argv)
     // knob exists to prove exactly that and to debug the kernel.
     runner.setFastForward(fast_forward);
     runner.setPredecode(!no_predecode);
+    runner.setBlockExec(!no_block_exec);
     const auto results = runner.run(spec, capture_trace);
 
     std::printf("Figure 9: context-switch latencies (cycles), "
@@ -142,6 +148,7 @@ main(int argc, char **argv)
         std::ofstream os(out_path);
         if (!os)
             fatal("cannot open --out file '%s'", out_path.c_str());
+        writeResultsHeaderJsonl(os, "fig9_latency");
         writeResultsJsonl(os, results, include_timing);
         std::printf("\nresults: %s (%zu points)\n", out_path.c_str(),
                     results.size());

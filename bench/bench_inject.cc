@@ -21,7 +21,10 @@
  *                     [--iterations N] [--timer-period CYCLES]
  *                     [--faults N] [--campaign-size N] [--seed S]
  *                     [--threads N] [--out campaign.jsonl]
- *                     [--strict] [--selftest]
+ *                     [--strict] [--selftest] [--no-block-exec]
+ *
+ * Block execution is exact, so --no-block-exec must not change a
+ * single outcome classification; CI runs the selftest both ways.
  */
 
 #include <cstdio>
@@ -87,7 +90,7 @@ printSummary(const CampaignResult &res)
  */
 unsigned
 runSelftest(const SweepRunner &runner, unsigned iterations,
-            Word timer_period)
+            Word timer_period, bool block_exec)
 {
     unsigned failures = 0;
     const auto expect = [&](bool ok, const std::string &what) {
@@ -111,6 +114,7 @@ runSelftest(const SweepRunner &runner, unsigned iterations,
         cs.points = spec.points();
         cs.faultsPerPoint = 1;
         cs.seed = 42;
+        cs.blockExec = block_exec;
         const CampaignResult res = runCampaign(cs, runner);
         expect(res.cleanOracleHits() == 0,
                csprintf("clean matrix fired %u oracle hits (first: %s)",
@@ -165,7 +169,7 @@ runSelftest(const SweepRunner &runner, unsigned iterations,
         pt.reseed();
         GoldenRecord golden;
         const FaultRunRecord rec =
-            runSingleFault(pt, fx.fault, true, &golden);
+            runSingleFault(pt, fx.fault, true, &golden, block_exec);
         const std::string label =
             csprintf("%s/%s", fx.config, fx.fault.describe().c_str());
         expect(golden.oracleHits == 0,
@@ -204,6 +208,7 @@ main(int argc, char **argv)
     std::string out_path = "BENCH_inject_campaign.jsonl";
     bool strict = false;
     bool selftest = false;
+    bool no_block_exec = false;
 
     ArgParser parser("Fault-injection campaign with kernel-invariant "
                      "oracles");
@@ -228,13 +233,16 @@ main(int argc, char **argv)
                    "exit non-zero on any silent-corruption outcome");
     parser.addFlag("--selftest", &selftest,
                    "run the seeded-defect matrix and exit");
+    parser.addFlag("--no-block-exec", &no_block_exec,
+                   "disable superblock execution (classification must "
+                   "not change)");
     parser.parse(argc, argv);
 
     const SweepRunner runner(threads);
 
     if (selftest) {
         const unsigned failures =
-            runSelftest(runner, iterations, timer_period);
+            runSelftest(runner, iterations, timer_period, !no_block_exec);
         if (failures != 0) {
             std::fprintf(stderr, "selftest: %u failures\n", failures);
             return 1;
@@ -256,6 +264,7 @@ main(int argc, char **argv)
     CampaignSpec cs;
     cs.points = spec.points();
     cs.seed = seed;
+    cs.blockExec = !no_block_exec;
     cs.faultsPerPoint = faults;
     if (campaign_size != 0) {
         cs.faultsPerPoint = std::max<unsigned>(

@@ -3,6 +3,11 @@
  * blocks: instruction decode, functional execution, hardware-list
  * sorting, context FSM transfers and whole-system simulation
  * throughput (host cycles per simulated cycle).
+ *
+ * Deliberately NOT on the shared ArgParser: BENCHMARK_MAIN() owns the
+ * command line, and google-benchmark's native flags already cover the
+ * driver conventions (--benchmark_out=FILE --benchmark_out_format=json
+ * is this binary's --out; --benchmark_filter selects benchmarks).
  */
 
 #include <benchmark/benchmark.h>

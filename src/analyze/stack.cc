@@ -139,8 +139,8 @@ class StackWalker
                                     "disagree on the frame size",
                                     describe(State{
                                         static_cast<State::Mode>(mode),
-                                        it->second}),
-                                    describe(st)));
+                                        it->second}).c_str(),
+                                    describe(st).c_str()));
                 }
             }
         }
@@ -181,7 +181,7 @@ class StackWalker
                                csprintf("ret with sp rebased to %s: "
                                         "the caller's frame is "
                                         "abandoned",
-                                        describe(st)));
+                                        describe(st).c_str()));
                     }
                 }
                 return;

@@ -13,10 +13,12 @@
 #include "arch_state.hh"
 #include "asm/decode.hh"
 #include "executor.hh"
+#include "sim/blockexec.hh"
 #include "sim/clint.hh"
 #include "sim/irq.hh"
 #include "sim/kernel.hh"
 #include "sim/mem.hh"
+#include "sim/memmap.hh"
 #include "sim/predecode.hh"
 
 namespace rtu {
@@ -50,6 +52,16 @@ struct CoreStats
     /** Text-range writes that re-decoded image words. Accounted at
      *  the simulation level (the image is shared, not per-core). */
     std::uint64_t textInvalidations = 0;
+    /** Superblocks executed through the block fast path (straight-line
+     *  runs completed inside blockRun()). */
+    std::uint64_t blocksExecuted = 0;
+    /** blockRun() entries or runs that bailed to the per-instruction
+     *  path (stop instruction, unsafe memory access, live stride
+     *  anchor, uncovered pc). */
+    std::uint64_t blockFallbacks = 0;
+    /** Block-summary words re-formed by text writes. Accounted at the
+     *  simulation level (the index is shared, not per-core). */
+    std::uint64_t blockInvalidations = 0;
 };
 
 class Core : public Clocked
@@ -65,12 +77,15 @@ class Core : public Clocked
         Clint *clint = nullptr;
         /** Decode-once text image; nullptr = always fetch via mem. */
         const PredecodedImage *predecode = nullptr;
+        /** Superblock index over the image; nullptr disables the block
+         *  fast path (cores fall back to per-cycle ticking only). */
+        const BlockIndex *blockindex = nullptr;
     };
 
     explicit Core(const Env &env)
         : state_(*env.state), exec_(*env.exec), mem_(*env.mem),
           irq_(*env.irq), dmemPort_(*env.dmemPort), clint_(*env.clint),
-          predecode_(env.predecode)
+          predecode_(env.predecode), blockindex_(env.blockindex)
     {}
     virtual ~Core() = default;
 
@@ -123,6 +138,48 @@ class Core : public Clocked
             listener_->trapTaken(cause, now);
     }
 
+    /**
+     * True if the in-block data access [@p ea, @p ea + @p size) is
+     * contained in plain SRAM (imem or dmem). Anything else — CLINT,
+     * host I/O, unmapped, device-straddling — must take the
+     * per-instruction path, which owns the exact device and fault
+     * semantics.
+     */
+    bool
+    blockSafeAccess(Addr ea, unsigned size) const
+    {
+        return (ea >= memmap::kImemBase &&
+                ea + size <= memmap::kImemBase + memmap::kImemSize) ||
+               (ea >= memmap::kDmemBase &&
+                ea + size <= memmap::kDmemBase + memmap::kDmemSize);
+    }
+
+    /** Effective address of a load/store, from the current registers
+     *  (exact for in-order in-block execution: every older instruction
+     *  has already executed). */
+    Addr
+    effectiveAddr(const DecodedInsn &insn) const
+    {
+        return state_.reg(insn.rs1) + static_cast<Word>(insn.imm);
+    }
+
+    static unsigned
+    accessSize(Op op)
+    {
+        switch (op) {
+          case Op::kLb:
+          case Op::kLbu:
+          case Op::kSb:
+            return 1;
+          case Op::kLh:
+          case Op::kLhu:
+          case Op::kSh:
+            return 2;
+          default:
+            return 4;
+        }
+    }
+
     ArchState &state_;
     Executor &exec_;
     MemSystem &mem_;
@@ -130,6 +187,7 @@ class Core : public Clocked
     SharedPort &dmemPort_;
     Clint &clint_;
     const PredecodedImage *predecode_;
+    const BlockIndex *blockindex_;
     CoreListener *listener_ = nullptr;
     CoreStats stats_;
 };

@@ -80,6 +80,8 @@ statsDelta(const CoreStats &a, const CoreStats &b)
     d.cacheMisses = a.cacheMisses - b.cacheMisses;
     d.fetchPredecoded = a.fetchPredecoded - b.fetchPredecoded;
     d.fetchSlowPath = a.fetchSlowPath - b.fetchSlowPath;
+    d.blocksExecuted = a.blocksExecuted - b.blocksExecuted;
+    d.blockFallbacks = a.blockFallbacks - b.blockFallbacks;
     return d;
 }
 
@@ -96,6 +98,8 @@ statsAccumulate(CoreStats &s, const CoreStats &d, std::uint64_t k)
     s.cacheMisses += k * d.cacheMisses;
     s.fetchPredecoded += k * d.fetchPredecoded;
     s.fetchSlowPath += k * d.fetchSlowPath;
+    s.blocksExecuted += k * d.blocksExecuted;
+    s.blockFallbacks += k * d.blockFallbacks;
 }
 
 } // namespace
@@ -386,6 +390,184 @@ Cv32e40pCore::tick(Cycle now)
 
     lastWasLoad_ = cls == InsnClass::kLoad;
     lastLoadRd_ = insn.rd;
+}
+
+bool
+Cv32e40pCore::strideSlotLive(Addr pc) const
+{
+    for (const StrideSlot &slot : slots_) {
+        if (slot.valid && !slot.dead && slot.target == pc)
+            return true;
+    }
+    return false;
+}
+
+bool
+Cv32e40pCore::strideSlotLiveInRange(Addr pc, std::uint32_t words) const
+{
+    for (const StrideSlot &slot : slots_) {
+        if (slot.valid && !slot.dead && slot.target - pc < 4u * words)
+            return true;
+    }
+    return false;
+}
+
+Cv32e40pCore::BlockStep
+Cv32e40pCore::blockStep(Cycle &t, Cycle bound)
+{
+    const Addr pc = state_.pc();
+    const DecodedInsn &insn = predecode_->at(pc);
+    const InsnClass cls = insn.cls;
+
+    // An address the per-instruction path would route to a device (or
+    // fault on) carries semantics this loop does not model: bail with
+    // nothing executed.
+    if (cls == InsnClass::kLoad || cls == InsnClass::kStore) {
+        if (!blockSafeAccess(effectiveAddr(insn), accessSize(insn.op)))
+            return BlockStep::kBailMem;
+    }
+
+    ++stats_.fetchPredecoded;
+
+    // Load-use hazard from the *dynamic* previous instruction — exact,
+    // unlike the decode-time schedule, which is only a worst case.
+    unsigned extra = 0;
+    if (lastWasLoad_ && lastLoadRd_ != 0) {
+        const bool uses = (insn.useRs1 && insn.rs1 == lastLoadRd_) ||
+                          (insn.useRs2 && insn.rs2 == lastLoadRd_);
+        if (uses)
+            extra = params_.loadUseStall;
+    }
+
+    divOperandBits_ = 0;
+    if (cls == InsnClass::kDiv) {
+        const Word dividend = state_.reg(insn.rs1);
+        divOperandBits_ = 32 - std::countl_zero(dividend | 1);
+    }
+
+    if (!stridePure(cls))
+        strideImpure();
+
+    // Stop classes were excluded up front, so this cannot trap, sleep
+    // or touch the RTOSUnit; a wild jalr target is caught by the
+    // coverage check before the next step.
+    const ExecResult res = exec_.execute(insn, pc);
+    state_.setPc(res.nextPc);
+    ++stats_.instret;
+
+    if (res.memAccess) {
+        dmemPort_.beginCycle();
+        dmemPort_.claim();
+        ++stats_.memOps;
+    }
+
+    if ((res.branchTaken || cls == InsnClass::kJump) && res.nextPc < pc)
+        strideAnchor(res.nextPc, t);
+
+    lastWasLoad_ = cls == InsnClass::kLoad;
+    lastLoadRd_ = insn.rd;
+
+    const unsigned cost = costOf(insn, res) + extra;
+    if (t + cost > bound) {
+        // The issue cycle and bound-t-1 stall cycles land inside the
+        // window; the in-flight remainder resumes per-cycle, exactly
+        // the reference state at the bound.
+        stats_.stallCycles += bound - t - 1;
+        remaining_ = static_cast<unsigned>(cost - (bound - t));
+        abortable_ = cls == InsnClass::kDiv || cls == InsnClass::kMul;
+        t = bound;
+        return BlockStep::kHorizon;
+    }
+    stats_.stallCycles += cost - 1;
+    abortable_ =
+        cost > 1 && (cls == InsnClass::kDiv || cls == InsnClass::kMul);
+    t += cost;
+    return (cls == InsnClass::kBranch || cls == InsnClass::kJump)
+               ? BlockStep::kControl
+               : BlockStep::kDone;
+}
+
+Cycle
+Cv32e40pCore::blockRun(Cycle now, Cycle bound)
+{
+    if (blockindex_ == nullptr || remaining_ > 0 || sleeping_ ||
+        exec_.interruptReady()) {
+        return 0;
+    }
+
+    Cycle t = now;
+    std::uint32_t sinceBoundary = 0;
+    bool bailed = false;
+    while (t < bound) {
+        const Addr pc = state_.pc();
+        if (!blockindex_->covers(pc)) {
+            bailed = true;
+            break;
+        }
+        const std::uint8_t flags = blockindex_->flagsAt(pc);
+        if (flags & BlockIndex::kStop) {
+            bailed = true;
+            break;
+        }
+        if (strideSlotLive(pc)) {
+            // The per-cycle path must visit the anchor or the loop can
+            // never confirm (and stride skips would starve). Written-
+            // off anchors flow through freely.
+            bailed = true;
+            break;
+        }
+
+        // Block-entry fast path: a store-free run whose worst-case
+        // cost (plus one inherited load-use stall of margin) fits the
+        // horizon needs no per-instruction re-validation — one bound
+        // check for the whole block.
+        const std::uint32_t run = blockindex_->runLenAt(pc);
+        if (!(flags & BlockIndex::kSuffixStore) &&
+            t + blockindex_->worstCyclesAt(pc) + params_.loadUseStall <=
+                bound &&
+            !strideSlotLiveInRange(pc, run)) {
+            for (std::uint32_t i = 0; i < run; ++i) {
+                const BlockStep s = blockStep(t, bound);
+                if (s == BlockStep::kControl) {
+                    ++stats_.blocksExecuted;
+                    sinceBoundary = 0;
+                } else if (s == BlockStep::kDone) {
+                    ++sinceBoundary;
+                } else {
+                    // kBailMem (kHorizon cannot happen: the worst-case
+                    // cost fit the window).
+                    bailed = true;
+                    break;
+                }
+            }
+            if (bailed)
+                break;
+            continue;
+        }
+
+        // Checked stepping: store-carrying or horizon-limited runs
+        // re-validate every word (a store may have re-formed the very
+        // block being executed).
+        const BlockStep s = blockStep(t, bound);
+        if (s == BlockStep::kControl) {
+            ++stats_.blocksExecuted;
+            sinceBoundary = 0;
+        } else if (s == BlockStep::kDone) {
+            ++sinceBoundary;
+        } else if (s == BlockStep::kHorizon) {
+            ++sinceBoundary;
+            break;
+        } else {
+            bailed = true;
+            break;
+        }
+    }
+
+    if (sinceBoundary > 0)
+        ++stats_.blocksExecuted;  // partial run up to the exit point
+    if (bailed)
+        ++stats_.blockFallbacks;
+    return t - now;
 }
 
 } // namespace rtu

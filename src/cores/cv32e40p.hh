@@ -58,6 +58,10 @@ class Cv32e40pCore : public Core
     /** Account @p periods whole loop iterations' worth of stats. */
     void applyStride(Cycle now, std::uint64_t periods) override;
 
+    /** Superblock fast path: execute straight-line runs up to the
+     *  event horizon with one bound check per block. */
+    Cycle blockRun(Cycle now, Cycle bound) override;
+
     const char *name() const override { return "cv32e40p"; }
 
   private:
@@ -119,6 +123,22 @@ class Cv32e40pCore : public Core
     CoreSnapshot captureSnapshot() const;
     const StrideSlot *findSlot(Addr target) const;
     StrideSlot *findSlot(Addr target);
+
+    /** Outcome of one in-block instruction step. */
+    enum class BlockStep
+    {
+        kDone,     ///< retired, run continues at the next word
+        kControl,  ///< retired a branch/jump: block boundary
+        kBailMem,  ///< unsafe access, nothing executed: fall back
+        kHorizon,  ///< issued, stall crosses the bound: window full
+    };
+    /** Execute the (pre-validated non-stop) instruction at pc; @p t is
+     *  advanced by the instruction's full pipeline occupancy. */
+    BlockStep blockStep(Cycle &t, Cycle bound);
+    /** A valid, not-written-off stride anchor sits at @p pc: the
+     *  per-cycle path must run it so the loop can confirm. */
+    bool strideSlotLive(Addr pc) const;
+    bool strideSlotLiveInRange(Addr pc, std::uint32_t words) const;
     /** Any impure operation breaks all pending/confirmed periodicity. */
     void strideImpure() { ++strideEpoch_; }
     void strideVisit(Addr pc, Cycle now);

@@ -254,4 +254,87 @@ Cva6Core::issue(Cycle now)
     issueReadyAt_ = std::max(issue_next, now + 1);
 }
 
+Cycle
+Cva6Core::blockRun(Cycle now, Cycle bound)
+{
+    if (blockindex_ == nullptr || mretPending_ || sleeping_ ||
+        exec_.interruptReady()) {
+        return 0;
+    }
+
+    Cycle t = now;
+    std::uint32_t sinceBoundary = 0;
+    bool bailed = false;
+    while (t < bound) {
+        if (t < issueReadyAt_) {
+            // Committed stall cycles up to the issue boundary: the
+            // same closed-form store-buffer drain as skipTo().
+            const Cycle adv = std::min(issueReadyAt_, bound);
+            const Cycle busyEnd =
+                std::min(std::max(busBusyUntil_, t), adv);
+            const unsigned drained = static_cast<unsigned>(
+                std::min<Cycle>(storeBuf_, adv - busyEnd));
+            storeBuf_ -= drained;
+            stats_.stallCycles += adv - t;
+            t = adv;
+            continue;
+        }
+
+        // Pre-validate before applying any cycle-t effect, so a bail
+        // leaves cycle t wholly unconsumed for the per-cycle path.
+        // Flags are re-read every word: an in-block store to text may
+        // have re-formed the very run being executed.
+        const Addr pc = state_.pc();
+        if (!blockindex_->covers(pc)) {
+            bailed = true;
+            break;
+        }
+        const std::uint8_t flags = blockindex_->flagsAt(pc);
+        if (flags & BlockIndex::kStop) {
+            bailed = true;
+            break;
+        }
+        const DecodedInsn &insn = predecode_->at(pc);
+        if ((flags & BlockIndex::kMem) &&
+            !blockSafeAccess(effectiveAddr(insn), accessSize(insn.op))) {
+            bailed = true;
+            break;
+        }
+        const InsnClass cls = insn.cls;
+
+        // Cycle t is committed: bus-occupancy / store-buffer step,
+        // exactly the top of tick(). beginCycle() substitutes for the
+        // port-reset component, which is not ticking while we run.
+        if (t < busBusyUntil_) {
+            busPort_.beginCycle();
+            busPort_.claim();
+        } else if (storeBuf_ > 0) {
+            busPort_.beginCycle();
+            busPort_.claim();
+            --storeBuf_;
+        }
+
+        // issue() applies RAW / store-buffer-full stalls by itself; a
+        // stalled attempt retires nothing and is retried next cycle,
+        // exactly as tick() would.
+        const std::uint64_t before = stats_.instret;
+        issue(t);
+        if (stats_.instret != before) {
+            if (cls == InsnClass::kBranch || cls == InsnClass::kJump) {
+                ++stats_.blocksExecuted;
+                sinceBoundary = 0;
+            } else {
+                ++sinceBoundary;
+            }
+        }
+        t += 1;
+    }
+
+    if (sinceBoundary > 0)
+        ++stats_.blocksExecuted;  // partial run up to the exit point
+    if (bailed)
+        ++stats_.blockFallbacks;
+    return t - now;
+}
+
 } // namespace rtu

@@ -59,6 +59,12 @@ class Cva6Core : public Core
      *  drain. */
     void skipTo(Cycle now, Cycle target) override;
 
+    /** Superblock fast path: issue straight-line runs up to the event
+     *  horizon, re-validating each word against the block index (the
+     *  scoreboard/cache state makes a static block cost impossible, so
+     *  unlike CV32E40P every step is checked). */
+    Cycle blockRun(Cycle now, Cycle bound) override;
+
     const char *name() const override { return "cva6"; }
 
     CacheModel &dcache() { return dcache_; }

@@ -142,25 +142,28 @@ Executor::execJump(Executor &e, const DecodedInsn &d, Addr pc,
         res.nextPc = (rs1 + static_cast<Word>(d.imm)) & ~Word{1};
 }
 
+bool
+Executor::evalBranch(Op op, Word rs1, Word rs2)
+{
+    switch (op) {
+      case Op::kBeq: return rs1 == rs2;
+      case Op::kBne: return rs1 != rs2;
+      case Op::kBlt:
+        return static_cast<SWord>(rs1) < static_cast<SWord>(rs2);
+      case Op::kBge:
+        return static_cast<SWord>(rs1) >= static_cast<SWord>(rs2);
+      case Op::kBltu: return rs1 < rs2;
+      default: return rs1 >= rs2;  // kBgeu
+    }
+}
+
 void
 Executor::execBranch(Executor &e, const DecodedInsn &d, Addr pc,
                      ExecResult &res)
 {
     (void)pc;
-    const Word rs1 = e.state_.reg(d.rs1);
-    const Word rs2 = e.state_.reg(d.rs2);
-    switch (d.op) {
-      case Op::kBeq: res.branchTaken = rs1 == rs2; break;
-      case Op::kBne: res.branchTaken = rs1 != rs2; break;
-      case Op::kBlt:
-        res.branchTaken = static_cast<SWord>(rs1) < static_cast<SWord>(rs2);
-        break;
-      case Op::kBge:
-        res.branchTaken = static_cast<SWord>(rs1) >= static_cast<SWord>(rs2);
-        break;
-      case Op::kBltu: res.branchTaken = rs1 < rs2; break;
-      default: res.branchTaken = rs1 >= rs2; break;  // kBgeu
-    }
+    res.branchTaken =
+        evalBranch(d.op, e.state_.reg(d.rs1), e.state_.reg(d.rs2));
 }
 
 void

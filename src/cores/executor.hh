@@ -96,6 +96,14 @@ class Executor
      */
     Word pendingCause() const;
 
+    /**
+     * Conditional-branch direction for operand values @p rs1 / @p rs2.
+     * The single source of branch semantics: execute() resolves taken
+     * branches through it, and the cores' block fast paths use it to
+     * pre-compute a branch target without executing the instruction.
+     */
+    static bool evalBranch(Op op, Word rs1, Word rs2);
+
   private:
     /** One entry per Op; applies the op family's semantics in place. */
     using Handler = void (*)(Executor &, const DecodedInsn &, Addr,

@@ -112,6 +112,14 @@ class NaxCore : public Core
      *  where the per-cycle path would. */
     void skipTo(Cycle now, Cycle target) override;
 
+    /** Superblock fast path: dispatch straight-line runs up to the
+     *  event horizon. Each dispatch group is pre-verified as a whole
+     *  (slot 1 included, branch direction resolved via
+     *  Executor::evalBranch) before slot 0 executes, because a bail
+     *  between the slots would leave a half-dispatched pair the
+     *  per-cycle path can never reproduce. */
+    Cycle blockRun(Cycle now, Cycle bound) override;
+
     const char *name() const override { return "naxriscv"; }
 
     CacheModel &dcache() { return dcache_; }

@@ -141,6 +141,25 @@ ResultCache::load()
     size_t lineno = 0, skipped = 0;
     while (std::getline(is, line)) {
         ++lineno;
+        if (line.find("\"bench\":\"explore_cache\"") !=
+            std::string::npos) {
+            // Schema-stamped header (first line of files created by
+            // this writer; absent from pre-header caches). A header
+            // must be well-formed and must lead the file; a stamp from
+            // another generation makes every following entry another
+            // generation too — the per-line check below skips them.
+            std::uint64_t schema = 0;
+            rtu_assert(parseU64Field(line, "\"schema\":", &schema),
+                       "result cache %s:%zu: malformed schema header",
+                       filePath().c_str(), lineno);
+            rtu_assert(lineno == 1,
+                       "result cache %s:%zu: schema header not at the "
+                       "top of the file",
+                       filePath().c_str(), lineno);
+            if (schema != kSchemaVersion)
+                ++skipped;
+            continue;
+        }
         std::uint64_t v = 0;
         if (!parseU64Field(line, "\"v\":", &v) || v != kSchemaVersion) {
             ++skipped;  // other schema generation: not ours to read
@@ -205,9 +224,16 @@ ResultCache::append(const std::string &key, const CachedRun &run)
     if (ec)
         fatal("cannot create cache directory '%s': %s", dir_.c_str(),
               ec.message().c_str());
+    const bool fresh = !std::filesystem::exists(filePath());
     std::ofstream os(filePath(), std::ios::app);
     if (!os)
         fatal("cannot append to result cache '%s'", filePath().c_str());
+    if (fresh) {
+        // Same header convention as the sweep benches' --out streams;
+        // load() asserts its shape before trusting the entries.
+        os << "{\"schema\":" << kSchemaVersion
+           << ",\"bench\":\"explore_cache\"}\n";
+    }
 
     const ActivityCounters &a = run.activity;
     std::ostringstream line;

@@ -383,7 +383,9 @@ writeExploreJson(std::ostream &os, const ExploreSpec &spec,
                  const std::vector<Objective> &objs,
                  const ExploreStats &stats, size_t best)
 {
-    os << "{\"stats\":{\"design_points\":" << stats.designPoints
+    os << "{\"schema\":" << kExploreReportSchema
+       << ",\"bench\":\"explore\""
+       << ",\"stats\":{\"design_points\":" << stats.designPoints
        << ",\"prefiltered\":" << stats.prefiltered
        << ",\"sweep_points\":" << stats.sweepPoints
        << ",\"cache_hits\":" << stats.cacheHits

@@ -120,10 +120,14 @@ class Explorer
     mutable std::map<std::string, double> wcetMemo_;
 };
 
+/** Version of the writeExploreJson report format, stamped as its
+ *  leading "schema" field (the sweep benches' header convention). */
+constexpr unsigned kExploreReportSchema = 1;
+
 /**
  * JSON report: explore stats, every evaluation, the Pareto frontier
  * over @p objs and (when @p best != SIZE_MAX) the constrained-query
- * selection. Deterministic byte-stable output.
+ * selection. Deterministic byte-stable output, schema-stamped.
  */
 void writeExploreJson(std::ostream &os, const ExploreSpec &spec,
                       const std::vector<DesignEval> &evals,

@@ -31,6 +31,7 @@ runWorkload(CoreKind core, const RtosUnitConfig &unit,
     sconfig.naxCtxQueueEntries = opts.naxCtxQueueEntries;
     sconfig.fastForward = opts.fastForward;
     sconfig.predecode = opts.predecode;
+    sconfig.blockExec = opts.blockExec;
     sconfig.watchdogCycles = opts.watchdogCycles;
 
     Simulation sim(sconfig, program);
@@ -74,6 +75,8 @@ runWorkload(CoreKind core, const RtosUnitConfig &unit,
     res.throughput.cyclesSkipped = ks.cyclesSkipped;
     res.throughput.fastForwards = ks.fastForwards;
     res.throughput.strideSkips = ks.strideSkips;
+    res.throughput.blockRuns = ks.blockRuns;
+    res.throughput.cyclesBlockExecuted = ks.cyclesBlockExecuted;
     res.throughput.wallSeconds =
         std::chrono::duration<double>(wallEnd - wallStart).count();
     res.switchLatency = sim.recorder().latencyStats(true);

@@ -39,6 +39,8 @@ struct RunThroughput
     std::uint64_t cyclesSkipped = 0;
     std::uint64_t fastForwards = 0;
     std::uint64_t strideSkips = 0;
+    std::uint64_t blockRuns = 0;
+    std::uint64_t cyclesBlockExecuted = 0;
     double wallSeconds = 0.0;
 };
 
@@ -75,6 +77,8 @@ struct RunOptions
     bool fastForward = true;
     /** Decode-once text image (bit-exact perf knob; see SimConfig). */
     bool predecode = true;
+    /** Superblock execution (bit-exact perf knob; see SimConfig). */
+    bool blockExec = true;
     /** No-retire watchdog threshold; 0 disables. */
     std::uint64_t watchdogCycles = 2'000'000;
     /**

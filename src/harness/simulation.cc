@@ -59,6 +59,13 @@ Simulation::Simulation(const SimConfig &config, const Program &program)
     if (config_.predecode && !program.text.empty())
         predecode_.install(mem_, program.textBase, program.text.size());
 
+    // Superblock index on top of the image: straight-line run lengths
+    // and worst-case block costs, kept coherent with text writes via
+    // the image's invalidation listener. Without fast-forward there is
+    // no event horizon to execute blocks against, so skip it.
+    if (config_.blockExec && config_.fastForward && predecode_.installed())
+        blockindex_.install(predecode_, Cv32e40pCostParams{});
+
     state_.setPc(program.textBase);
     exec_.setClock(kernel_.clockPtr());
     hostio_.bindClock(kernel_.clockPtr());
@@ -74,6 +81,8 @@ Simulation::Simulation(const SimConfig &config, const Program &program)
     env.clint = &clint_;
     if (predecode_.installed())
         env.predecode = &predecode_;
+    if (blockindex_.installed())
+        env.blockindex = &blockindex_;
 
     NaxCore *nax = nullptr;
     switch (config_.core) {

@@ -18,6 +18,7 @@
 #include "rtosunit/config.hh"
 #include "rtosunit/cv32rt.hh"
 #include "rtosunit/rtosunit.hh"
+#include "sim/blockexec.hh"
 #include "sim/clint.hh"
 #include "sim/hostio.hh"
 #include "sim/irq.hh"
@@ -49,6 +50,12 @@ struct SimConfig
      *  Behavior is bit-exact either way — this only moves decode work
      *  out of the per-cycle path. */
     bool predecode = true;
+    /** Superblock execution: partition the predecoded text into
+     *  straight-line blocks and let the cores execute whole blocks per
+     *  event-horizon check. Behavior is bit-exact either way — only
+     *  the per-instruction dispatch overhead moves. Requires (and is
+     *  ignored without) predecode + fastForward. */
+    bool blockExec = true;
     /** Abort after this many cycles without a retired instruction or
      *  trap (hung-guest diagnostic); 0 disables the watchdog. */
     std::uint64_t watchdogCycles = 2'000'000;
@@ -136,6 +143,7 @@ class Simulation : public CoreListener, public PhaseObserver
     {
         CoreStats s = core_->stats();
         s.textInvalidations = predecode_.invalidations();
+        s.blockInvalidations = blockindex_.invalidations();
         return s;
     }
     RtosUnit *unit() { return unit_.get(); }
@@ -207,6 +215,7 @@ class Simulation : public CoreListener, public PhaseObserver
     ArchState state_;
     Executor exec_;
     PredecodedImage predecode_;
+    BlockIndex blockindex_;
     SharedPort dmemPort_;
     SharedPort busPort_;
     PortReset portReset_;

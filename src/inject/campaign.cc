@@ -247,7 +247,7 @@ struct InstrumentedRun
 
 InstrumentedRun
 runInstrumented(const SweepPoint &point, bool fast_forward,
-                const FaultSpec *fault)
+                const FaultSpec *fault, bool block_exec = true)
 {
     const auto workload = makeWorkload(point.workload, point.iterations);
     const WorkloadInfo winfo = workload->info();
@@ -257,6 +257,7 @@ runInstrumented(const SweepPoint &point, bool fast_forward,
     opts.naxCtxQueueEntries = point.naxCtxQueueEntries;
     opts.seed = point.seed;
     opts.fastForward = fast_forward;
+    opts.blockExec = block_exec;
 
     InstrumentedRun out;
     std::vector<Cycle> irqOverride;
@@ -372,12 +373,13 @@ CampaignResult::detectionCoverage() const
 
 FaultRunRecord
 runSingleFault(const SweepPoint &point, const FaultSpec &fault,
-               bool fast_forward, GoldenRecord *golden_out)
+               bool fast_forward, GoldenRecord *golden_out,
+               bool block_exec)
 {
     GoldenRecord golden;
     {
         const InstrumentedRun g =
-            runInstrumented(point, fast_forward, nullptr);
+            runInstrumented(point, fast_forward, nullptr, block_exec);
         golden.point = point;
         golden.run = g.run;
         golden.events = g.events;
@@ -387,7 +389,8 @@ runSingleFault(const SweepPoint &point, const FaultSpec &fault,
             golden.oracleDetail = g.hits.front().detail;
     }
 
-    const InstrumentedRun r = runInstrumented(point, fast_forward, &fault);
+    const InstrumentedRun r =
+        runInstrumented(point, fast_forward, &fault, block_exec);
     FaultRunRecord rec;
     rec.fault = fault;
     rec.fired = r.injectorFired;
@@ -422,7 +425,7 @@ runCampaign(const CampaignSpec &spec, const SweepRunner &runner)
     runner.forEachIndex(spec.points.size(), [&](std::size_t i) {
         const SweepPoint &pt = spec.points[i];
         const InstrumentedRun r =
-            runInstrumented(pt, spec.fastForward, nullptr);
+            runInstrumented(pt, spec.fastForward, nullptr, spec.blockExec);
         GoldenRecord &g = res.goldens[i];
         g.point = pt;
         g.run = r.run;
@@ -462,7 +465,8 @@ runCampaign(const CampaignSpec &spec, const SweepRunner &runner)
         const PlannedFault &pf = plan[j];
         const SweepPoint &pt = spec.points[pf.pointIndex];
         const InstrumentedRun r =
-            runInstrumented(pt, spec.fastForward, &pf.fault);
+            runInstrumented(pt, spec.fastForward, &pf.fault,
+                            spec.blockExec);
         FaultRunRecord &rec = res.faults[j];
         rec.pointIndex = pf.pointIndex;
         rec.fault = pf.fault;

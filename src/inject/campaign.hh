@@ -55,6 +55,9 @@ struct CampaignSpec
     /** Campaign seed: the only input of the fault plans. */
     std::uint64_t seed = 1;
     bool fastForward = true;
+    /** Superblock execution (default on). Classification must be
+     *  invariant under this knob — CI runs the selftest both ways. */
+    bool blockExec = true;
 };
 
 /**
@@ -134,7 +137,8 @@ FaultOutcome classifyOutcome(unsigned oracle_hits, RunStatus status,
 FaultRunRecord runSingleFault(const SweepPoint &point,
                               const FaultSpec &fault,
                               bool fast_forward = true,
-                              GoldenRecord *golden_out = nullptr);
+                              GoldenRecord *golden_out = nullptr,
+                              bool block_exec = true);
 
 /** One byte-stable JSONL line per injected run. */
 void writeCampaignJsonl(std::ostream &os, const CampaignSpec &spec,

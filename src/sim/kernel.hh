@@ -89,6 +89,25 @@ class Clocked
         (void)now;
         (void)periods;
     }
+
+    /**
+     * Superblock execution: when this is the only active component and
+     * every foreign event lies at or beyond @p bound, execute forward
+     * from @p now and return the number of cycles consumed (0 = no
+     * block path available; fall back to per-cycle ticking). The
+     * consumed cycles must not exceed @p bound - @p now, and the
+     * component must end in exactly the state the per-cycle path would
+     * reach at now + consumed — the other components are then advanced
+     * with skipTo(), which their nextEventAt() >= bound guarantees is
+     * pure over the consumed range.
+     */
+    virtual Cycle
+    blockRun(Cycle now, Cycle bound)
+    {
+        (void)now;
+        (void)bound;
+        return 0;
+    }
 };
 
 /** Throughput accounting (all fields deterministic). */
@@ -99,6 +118,10 @@ struct SimKernelStats
     std::uint64_t fastForwards = 0;    ///< quiescent-gap skips
     std::uint64_t strideSkips = 0;     ///< periodic-loop skips
     std::uint64_t strideCyclesSkipped = 0;  ///< subset of cyclesSkipped
+    std::uint64_t blockRuns = 0;       ///< successful blockRun() calls
+    /** Cycles consumed inside blockRun() — these are executed, not
+     *  skipped: ticked + skipped + blockExecuted is mode-invariant. */
+    std::uint64_t cyclesBlockExecuted = 0;
 };
 
 class SimKernel

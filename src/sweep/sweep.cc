@@ -62,7 +62,7 @@ SweepSpec::points() const
 
 SweepResult
 runSweepPoint(const SweepPoint &point, bool capture_trace,
-              bool fast_forward, bool predecode)
+              bool fast_forward, bool predecode, bool block_exec)
 {
     SweepResult out;
     out.point = point;
@@ -75,6 +75,7 @@ runSweepPoint(const SweepPoint &point, bool capture_trace,
     opts.seed = point.seed;
     opts.fastForward = fast_forward;
     opts.predecode = predecode;
+    opts.blockExec = block_exec;
 
     if (capture_trace) {
         std::ostringstream trace;
@@ -133,7 +134,7 @@ SweepRunner::runPoints(const std::vector<SweepPoint> &pts,
     std::vector<SweepResult> results(pts.size());
     forEachIndex(pts.size(), [&](std::size_t i) {
         results[i] = runSweepPoint(pts[i], capture_trace, fastForward_,
-                                   predecode_);
+                                   predecode_, blockExec_);
     });
     return results;
 }
@@ -142,6 +143,13 @@ std::vector<SweepResult>
 SweepRunner::run(const SweepSpec &spec, bool capture_trace) const
 {
     return runPoints(spec.points(), capture_trace);
+}
+
+void
+writeResultsHeaderJsonl(std::ostream &os, const char *bench)
+{
+    os << "{\"schema\":" << kSweepResultsSchema << ",\"bench\":\""
+       << jsonEscape(bench) << "\"}\n";
 }
 
 void
@@ -168,7 +176,11 @@ writeResultsJsonl(std::ostream &os,
            << ",\"fetch_predecoded\":" << run.coreStats.fetchPredecoded
            << ",\"fetch_slow_path\":" << run.coreStats.fetchSlowPath
            << ",\"text_invalidations\":"
-           << run.coreStats.textInvalidations;
+           << run.coreStats.textInvalidations
+           << ",\"blocks_executed\":" << run.coreStats.blocksExecuted
+           << ",\"block_fallbacks\":" << run.coreStats.blockFallbacks
+           << ",\"block_invalidations\":"
+           << run.coreStats.blockInvalidations;
         if (include_timing) {
             // Wall time is nondeterministic; callers wanting the
             // byte-stability contract keep it off (the default).

@@ -129,15 +129,40 @@ class SweepRunner
     void setPredecode(bool enable) { predecode_ = enable; }
     bool predecode() const { return predecode_; }
 
+    /**
+     * Superblock execution for every point (default on). Like the
+     * other two, a runner knob rather than a point field: block
+     * execution is bit-exact, so both settings share one point key.
+     */
+    void setBlockExec(bool enable) { blockExec_ = enable; }
+    bool blockExec() const { return blockExec_; }
+
   private:
     unsigned threads_;
     bool fastForward_ = true;
     bool predecode_ = true;
+    bool blockExec_ = true;
 };
 
 /** Execute a single grid point (what each worker runs). */
 SweepResult runSweepPoint(const SweepPoint &point, bool capture_trace,
-                          bool fast_forward = true, bool predecode = true);
+                          bool fast_forward = true, bool predecode = true,
+                          bool block_exec = true);
+
+/**
+ * Version of the writeResultsJsonl line format, stamped into the
+ * header line every sweep bench emits before its result lines (the
+ * same convention bench_sched/bench_throughput use). Bump when result
+ * lines gain, lose or re-type fields — consumers skip streams from
+ * another generation instead of misparsing them.
+ * v2: block-execution counters (blocks_executed, block_fallbacks,
+ *     block_invalidations).
+ */
+constexpr unsigned kSweepResultsSchema = 2;
+
+/** One schema-stamped header object: `{"schema":N,"bench":"<name>"}`.
+ *  Written as the first line of every sweep bench's --out stream. */
+void writeResultsHeaderJsonl(std::ostream &os, const char *bench);
 
 /**
  * Serialize one result line per point (JSONL, deterministic). The

@@ -1,9 +1,11 @@
 /** Differential harness for the scheduling kernel: every paper
  *  configuration (plus the +HS extension points) x every workload runs
- *  once with event-driven fast-forward and once in per-cycle reference
- *  mode; episode traces, cycle counts, status and all counters must be
- *  byte-identical. This is the contract that makes the fast-forward
- *  path trustworthy for the paper's latency/jitter numbers. */
+ *  in a four-way mode matrix — per-cycle reference, fast-forward with
+ *  and without the predecoded image, and fast-forward with superblock
+ *  execution; episode traces, cycle counts, status and all semantic
+ *  counters must be byte-identical across all four. This is the
+ *  contract that makes the accelerated paths trustworthy for the
+ *  paper's latency/jitter numbers. */
 
 #include <gtest/gtest.h>
 
@@ -31,6 +33,15 @@ matrixConfigs()
     return units;
 }
 
+/** One accelerated mode of the four-way matrix (the fourth mode is
+ *  the per-cycle reference every entry is compared against). */
+struct AccelMode
+{
+    const char *name;
+    bool predecode;
+    bool blockExec;
+};
+
 TEST(Differential, FastForwardMatchesReferenceAcrossTheMatrix)
 {
     const std::vector<RtosUnitConfig> units = matrixConfigs();
@@ -40,6 +51,14 @@ TEST(Differential, FastForwardMatchesReferenceAcrossTheMatrix)
         "ext_interrupt"};
     const std::array<CoreKind, 3> cores = {
         CoreKind::kCv32e40p, CoreKind::kCva6, CoreKind::kNax};
+
+    // Block execution requires the predecoded image, so the
+    // predecode-off mode also exercises the knob being inert.
+    const std::array<AccelMode, 3> modes = {{
+        {"ff+pre+block", true, true},
+        {"ff+pre", true, false},
+        {"ff+block-nopre", false, true},
+    }};
 
     size_t idx = 0;
     for (const RtosUnitConfig &unit : units) {
@@ -54,44 +73,65 @@ TEST(Differential, FastForwardMatchesReferenceAcrossTheMatrix)
             p.reseed();
             ++idx;
 
-            const SweepResult ff = runSweepPoint(p, true, true);
-            const SweepResult ref = runSweepPoint(p, true, false);
+            const SweepResult ref =
+                runSweepPoint(p, true, /*fast_forward=*/false);
             const std::string key = p.key();
 
-            // The reference mode never skips; fast-forward must
-            // account for every reference cycle exactly once.
+            // The reference mode never skips and never block-executes.
             EXPECT_EQ(ref.run.throughput.cyclesSkipped, 0u) << key;
-            EXPECT_EQ(ff.run.throughput.cyclesTicked +
-                          ff.run.throughput.cyclesSkipped,
-                      ref.run.throughput.cyclesTicked)
-                << key;
+            EXPECT_EQ(ref.run.throughput.cyclesBlockExecuted, 0u) << key;
 
-            EXPECT_EQ(ff.run.ok, ref.run.ok) << key;
-            EXPECT_EQ(ff.run.status, ref.run.status) << key;
-            EXPECT_EQ(ff.run.exitCode, ref.run.exitCode) << key;
-            EXPECT_EQ(ff.run.cycles, ref.run.cycles) << key;
+            for (const AccelMode &m : modes) {
+                const SweepResult ff = runSweepPoint(
+                    p, true, true, m.predecode, m.blockExec);
+                const std::string mkey = key + " [" + m.name + "]";
 
-            const CoreStats &a = ff.run.coreStats;
-            const CoreStats &b = ref.run.coreStats;
-            EXPECT_EQ(a.instret, b.instret) << key;
-            EXPECT_EQ(a.traps, b.traps) << key;
-            EXPECT_EQ(a.mrets, b.mrets) << key;
-            EXPECT_EQ(a.wfiCycles, b.wfiCycles) << key;
-            EXPECT_EQ(a.memOps, b.memOps) << key;
-            EXPECT_EQ(a.stallCycles, b.stallCycles) << key;
-            EXPECT_EQ(a.branchMispredicts, b.branchMispredicts) << key;
-            EXPECT_EQ(a.cacheMisses, b.cacheMisses) << key;
+                // Every reference cycle is accounted exactly once:
+                // ticked, bulk-skipped, or block-executed.
+                EXPECT_EQ(ff.run.throughput.cyclesTicked +
+                              ff.run.throughput.cyclesSkipped +
+                              ff.run.throughput.cyclesBlockExecuted,
+                          ref.run.throughput.cyclesTicked)
+                    << mkey;
+                if (!m.predecode) {
+                    // No image => no block index => knob is inert.
+                    EXPECT_EQ(ff.run.throughput.cyclesBlockExecuted, 0u)
+                        << mkey;
+                }
 
-            EXPECT_TRUE(ff.run.switchLatency.samples() ==
-                        ref.run.switchLatency.samples())
-                << key << ": switch-latency samples differ";
-            EXPECT_TRUE(ff.run.episodeLatency.samples() ==
-                        ref.run.episodeLatency.samples())
-                << key << ": episode-latency samples differ";
-            EXPECT_TRUE(ff.trace == ref.trace)
-                << key << ": episode trace JSONL differs ("
-                << ff.trace.size() << " vs " << ref.trace.size()
-                << " bytes)";
+                EXPECT_EQ(ff.run.ok, ref.run.ok) << mkey;
+                EXPECT_EQ(ff.run.status, ref.run.status) << mkey;
+                EXPECT_EQ(ff.run.exitCode, ref.run.exitCode) << mkey;
+                EXPECT_EQ(ff.run.cycles, ref.run.cycles) << mkey;
+
+                const CoreStats &a = ff.run.coreStats;
+                const CoreStats &b = ref.run.coreStats;
+                EXPECT_EQ(a.instret, b.instret) << mkey;
+                EXPECT_EQ(a.traps, b.traps) << mkey;
+                EXPECT_EQ(a.mrets, b.mrets) << mkey;
+                EXPECT_EQ(a.wfiCycles, b.wfiCycles) << mkey;
+                EXPECT_EQ(a.memOps, b.memOps) << mkey;
+                EXPECT_EQ(a.stallCycles, b.stallCycles) << mkey;
+                EXPECT_EQ(a.branchMispredicts, b.branchMispredicts)
+                    << mkey;
+                EXPECT_EQ(a.cacheMisses, b.cacheMisses) << mkey;
+                // The front end total is invariant; only the
+                // predecoded/slow-path split moves with the knobs.
+                EXPECT_EQ(a.fetchPredecoded + a.fetchSlowPath,
+                          b.fetchPredecoded + b.fetchSlowPath)
+                    << mkey;
+
+                EXPECT_TRUE(ff.run.switchLatency.samples() ==
+                            ref.run.switchLatency.samples())
+                    << mkey << ": switch-latency samples differ";
+                EXPECT_TRUE(ff.run.episodeLatency.samples() ==
+                            ref.run.episodeLatency.samples())
+                    << mkey << ": episode-latency samples differ";
+                EXPECT_TRUE(ff.trace == ref.trace)
+                    << mkey << ": episode trace JSONL differs ("
+                    << ff.trace.size() << " vs " << ref.trace.size()
+                    << " bytes)";
+            }
         }
     }
     EXPECT_EQ(idx, 105u);  // 15 configurations x 7 workloads

@@ -296,6 +296,39 @@ TEST_F(ExploreEngine, CacheToleratesCorruptAndForeignSchemaLines)
     EXPECT_EQ(warm.stats().cacheHits, 4u);
 }
 
+TEST_F(ExploreEngine, CacheFileStartsWithASchemaHeaderTheLoaderChecks)
+{
+    const ExploreSpec spec = smallSpec();
+    Explorer(spec).evaluate();
+
+    // Fresh cache files lead with the schema-stamped header object
+    // (the sweep benches' --out convention); the loader asserts its
+    // shape and position before trusting any entry.
+    std::ifstream is(dir_ + "/results.jsonl");
+    std::string first;
+    ASSERT_TRUE(std::getline(is, first));
+    EXPECT_EQ(first,
+              csprintf("{\"schema\":%u,\"bench\":\"explore_cache\"}",
+                       ResultCache::kSchemaVersion));
+
+    // A warm explorer still serves everything from the cache.
+    Explorer warm(spec);
+    warm.evaluate();
+    EXPECT_EQ(warm.stats().simulated, 0u);
+
+    // A file stamped by another writer generation loads no entries:
+    // its header (and every line after it) is another schema.
+    const std::string foreign = dir_ + "/foreign";
+    std::filesystem::create_directories(foreign);
+    {
+        std::ofstream os(foreign + "/results.jsonl");
+        os << "{\"schema\":999,\"bench\":\"explore_cache\"}\n";
+        os << "{\"v\":999,\"key\":\"future/entry\",\"ok\":true}\n";
+    }
+    ResultCache other(foreign);
+    EXPECT_EQ(other.size(), 0u);
+}
+
 TEST_F(ExploreEngine, CacheRoundTripsNonFiniteSamplesAsNull)
 {
     // Regression: non-finite samples used to serialize through printf
